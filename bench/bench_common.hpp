@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness binaries.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * Columns labelled "sim-<platform>" come from the calibrated hardware
+ * cost model (this machine has neither an Odroid-XU4 nor an i7-3820,
+ * and only one core — see DESIGN.md §3); columns labelled "host" are
+ * real wall-clock measurements of the actual artefact on this machine.
+ * Accuracy columns are labelled "paper-calibrated" when they come from
+ * the Fig-3 calibration model (src/stack/calibration.hpp).
+ */
+
+#ifndef DLIS_BENCH_BENCH_COMMON_HPP
+#define DLIS_BENCH_BENCH_COMMON_HPP
+
+#include <string>
+
+#include "hw/cost_model.hpp"
+#include "stack/baselines.hpp"
+#include "stack/inference_stack.hpp"
+#include "stack/report.hpp"
+
+namespace dlis::bench {
+
+/** Build a stack for (model, technique) at the given published rates. */
+inline StackConfig
+configFor(const std::string &model, Technique technique,
+          const BaselineRates &rates)
+{
+    StackConfig config;
+    config.modelName = model;
+    config.technique = technique;
+    switch (technique) {
+      case Technique::None:
+        break;
+      case Technique::WeightPruning:
+        config.wpSparsity = rates.wpSparsity;
+        config.format = WeightFormat::Csr; // the paper's deployment
+        break;
+      case Technique::ChannelPruning:
+        config.cpRate = rates.cpRate; // stays dense (recast network)
+        break;
+      case Technique::Quantisation:
+        config.ttqThreshold = rates.ttqThreshold;
+        config.ttqSparsity = rates.ttqSparsity;
+        config.format = WeightFormat::Csr;
+        break;
+    }
+    return config;
+}
+
+/** The four technique columns of Fig 4, in paper order. */
+inline const std::vector<Technique> &
+paperTechniques()
+{
+    static const std::vector<Technique> t{
+        Technique::None, Technique::WeightPruning,
+        Technique::ChannelPruning, Technique::Quantisation};
+    return t;
+}
+
+} // namespace dlis::bench
+
+#endif // DLIS_BENCH_BENCH_COMMON_HPP

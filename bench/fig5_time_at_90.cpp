@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig 5: inference time of the three compression techniques with
+ * accuracy fixed at 90 % — Odroid-XU4 with 8 threads, Intel Core i7
+ * with 4 threads (Table V rates).
+ *
+ * Paper shapes to verify: channel pruning dominates everywhere; on the
+ * Odroid, the channel-pruned *MobileNet* is slower than the channel-
+ * pruned big networks — compressed VGG-16/ResNet-18 beat the network
+ * hand-designed for embedded use (§V-E).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dlis;
+
+int
+main()
+{
+    const CostModel odroid(odroidXu4());
+    const CostModel i7(intelCoreI7());
+
+    TablePrinter table("Fig 5 — inference time at 90% accuracy "
+                       "(Table V rates)");
+    table.setHeader({"model", "technique", "sim-odroid 8t (s)",
+                     "sim-i7 4t (s)", "host 1t (s)"});
+
+    for (const std::string &model : paperModels()) {
+        for (Technique technique :
+             {Technique::WeightPruning, Technique::ChannelPruning,
+              Technique::Quantisation}) {
+            InferenceStack stack(
+                bench::configFor(model, technique, tableV(model)));
+            const auto costs = stack.stageCosts();
+            ExecContext ctx;
+            table.addRow(
+                {model, techniqueName(technique),
+                 fmtSeconds(odroid.estimateCpu(costs, 8).total()),
+                 fmtSeconds(i7.estimateCpu(costs, 4).total()),
+                 fmtSeconds(stack.measureHostSeconds(ctx, 1))});
+        }
+    }
+    table.print();
+    table.writeCsv("fig5.csv");
+
+    std::printf("\nShape to verify: channel pruning fastest per model; "
+                "on the Odroid the channel-pruned VGG-16 and ResNet-18 "
+                "beat MobileNet.\n");
+    return 0;
+}

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compute kernels: the
+ * dense-vs-CSR traversal cost that underlies the paper's sparse
+ * slowdown, GEMM blocking, im2col, and the CLBlast-style library's
+ * packing overhead on small vs large matrices.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "backend/conv_kernels.hpp"
+#include "backend/gemm.hpp"
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "backend/im2col.hpp"
+#include "backend/winograd.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace dlis {
+namespace {
+
+Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+/** Direct dense conv on a VGG-like layer (64ch, 32x32). */
+void
+BM_ConvDirectDense(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 1);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 2);
+    Tensor out(Shape{1, c, 32, 32});
+    for (auto _ : state) {
+        kernels::convDirectDense(p, in.data(), w.data(), nullptr,
+                                 out.data(), {1, true});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * p.macs()));
+}
+BENCHMARK(BM_ConvDirectDense)->Arg(16)->Arg(32)->Arg(64);
+
+/**
+ * CSR-bank conv at a given sparsity percentage: shows the per-MAC
+ * traversal penalty that defeats weight pruning on real hardware.
+ */
+void
+BM_ConvCsrBank(benchmark::State &state)
+{
+    const size_t c = 32;
+    const double sparsity =
+        static_cast<double>(state.range(0)) / 100.0;
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 3);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 4);
+    Rng rng(5);
+    for (size_t i = 0; i < w.numel(); ++i)
+        if (rng.bernoulli(sparsity))
+            w[i] = 0.0f;
+    const CsrFilterBank bank = CsrFilterBank::fromFilter(w);
+    Tensor out(Shape{1, c, 32, 32});
+    for (auto _ : state) {
+        kernels::convDirectCsrBank(p, in.data(), bank, nullptr,
+                                   out.data(), {1, true});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["sparsity%"] =
+        static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ConvCsrBank)->Arg(0)->Arg(50)->Arg(77)->Arg(90);
+
+/** Blocked GEMM vs problem size. */
+void
+BM_GemmBlocked(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Tensor a = randomTensor(Shape{n, n}, 6);
+    Tensor b = randomTensor(Shape{n, n}, 7);
+    Tensor c(Shape{n, n});
+    for (auto _ : state) {
+        kernels::gemmBlocked(a.data(), b.data(), c.data(), n, n, n,
+                             {1, true});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n * n * n));
+}
+BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(64)->Arg(128);
+
+/**
+ * The GEMM library's fixed packing/padding work: tiny (CIFAR-shaped)
+ * calls waste most of their time, large calls amortise it — the
+ * crossover behind Fig 6 vs the ImageNet extension.
+ */
+void
+BM_GemmLibraryCall(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    const size_t m = 64, k = 576; // a VGG conv's weight matrix
+    Tensor a = randomTensor(Shape{m, k}, 8);
+    Tensor b = randomTensor(Shape{k, n}, 9);
+    Tensor c(Shape{m, n});
+    gemmlib::GemmLibrary lib;
+    for (auto _ : state) {
+        lib.gemm(a.data(), b.data(), c.data(), m, k, n, {1, true});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * m * k * n));
+}
+BENCHMARK(BM_GemmLibraryCall)->Arg(16)->Arg(64)->Arg(1024);
+
+/** Winograd F(2x2,3x3) vs the direct kernel on the same layer. */
+void
+BM_ConvWinograd(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 11);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 12);
+    Tensor out(Shape{1, c, 32, 32});
+    for (auto _ : state) {
+        kernels::convWinograd(p, in.data(), w.data(), nullptr,
+                              out.data(), {1, true});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(
+        state.iterations() * kernels::winogradMultiplies(p)));
+}
+BENCHMARK(BM_ConvWinograd)->Arg(16)->Arg(32)->Arg(64);
+
+/** Packed-ternary decode-on-the-fly conv (the §V-D declined path). */
+void
+BM_ConvPackedTernary(benchmark::State &state)
+{
+    const size_t c = 32;
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 13);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 14);
+    // Ternarise with the sparsity given by the benchmark argument.
+    Rng rng(15);
+    const double sparsity =
+        static_cast<double>(state.range(0)) / 100.0;
+    for (size_t i = 0; i < w.numel(); ++i) {
+        if (rng.bernoulli(sparsity))
+            w[i] = 0.0f;
+        else
+            w[i] = w[i] > 0.0f ? 0.25f : -0.31f;
+    }
+    const PackedTernary packed = PackedTernary::pack(w);
+    Tensor out(Shape{1, c, 32, 32});
+    for (auto _ : state) {
+        kernels::convDirectPackedTernary(p, in.data(), packed, nullptr,
+                                         out.data(), {1, true});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["weightKB"] =
+        static_cast<double>(packed.storageBytes()) / 1024.0;
+}
+BENCHMARK(BM_ConvPackedTernary)->Arg(50)->Arg(90);
+
+/** im2col expansion rate. */
+void
+BM_Im2col(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 10);
+    std::vector<float> cols(kernels::im2colBufferSize(p));
+    for (auto _ : state) {
+        kernels::im2col(p, in.data(), cols.data());
+        benchmark::DoNotOptimize(cols.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * cols.size() * sizeof(float)));
+}
+BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
+
+} // namespace
+} // namespace dlis
+
+BENCHMARK_MAIN();

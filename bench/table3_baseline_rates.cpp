@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table III: the compression rate each technique reaches at its
+ * Pareto-curve elbow, per model — echoed from the paper and verified
+ * against the rates actually achieved by the built artefacts.
+ */
+
+#include "bench_common.hpp"
+#include "stack/calibration.hpp"
+
+using namespace dlis;
+
+int
+main()
+{
+    TablePrinter table("Table III — baseline compression rates "
+                       "(paper target vs built artefact)");
+    table.setHeader({"model", "WP sparsity (paper/built)",
+                     "CP rate (paper/built)",
+                     "TTQ thr / sparsity (paper/built)",
+                     "acc@elbow (calibrated)"});
+
+    for (const std::string &model : paperModels()) {
+        const BaselineRates r = tableIII(model);
+
+        InferenceStack wp(bench::configFor(
+            model, Technique::WeightPruning, r));
+        InferenceStack cp(bench::configFor(
+            model, Technique::ChannelPruning, r));
+        InferenceStack ttq(bench::configFor(
+            model, Technique::Quantisation, r));
+
+        table.addRow(
+            {model,
+             fmtPercent(r.wpSparsity) + " / " +
+                 fmtPercent(wp.achievedSparsity()),
+             fmtPercent(r.cpRate) + " / " +
+                 fmtPercent(cp.achievedCompressionRate()),
+             fmtDouble(r.ttqThreshold, 2) + " / " +
+                 fmtPercent(r.ttqSparsity) + " / " +
+                 fmtPercent(ttq.achievedSparsity()),
+             fmtPercent(calib::weightPruningAccuracy(model,
+                                                     r.wpSparsity))});
+    }
+    table.print();
+    table.writeCsv("table3.csv");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table IV: runtime memory requirements (MB) for each model and
+ * compression technique at the Table III baseline rates.
+ *
+ * Reproduced from first principles: every tensor and CSR array is
+ * tracked byte-exactly, so the paper's headline observation — the
+ * sparse-format techniques take MORE memory than the plain dense model
+ * because each small filter slice carries CSR metadata (§V-D) — falls
+ * out of the measured peaks, as does channel pruning's large win.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace dlis;
+
+int
+main()
+{
+    TablePrinter table("Table IV — runtime memory (MB), baseline "
+                       "rates; paper: VGG 111.4/144.4/17.9/130.3, "
+                       "ResNet 89.0/99.4/31.6/100.8, MobileNet "
+                       "69.1/188.5/10.8/201.1");
+    table.setHeader({"model", "plain", "w-pruning", "c-pruning",
+                     "t-quantis."});
+
+    TablePrinter detail("Table IV detail — footprint decomposition "
+                        "(MB): weights + CSR metadata + activations + "
+                        "scratch");
+    detail.setHeader({"model", "technique", "weights", "csr-meta",
+                      "activations", "scratch", "total"});
+
+    for (const std::string &model : paperModels()) {
+        std::vector<std::string> row{model};
+        for (Technique technique : bench::paperTechniques()) {
+            InferenceStack stack(
+                bench::configFor(model, technique, tableIII(model)));
+            const Footprint fp = stack.measureFootprint();
+            row.push_back(fmtMb(fp.total));
+            detail.addRow({model, techniqueName(technique),
+                           fmtMb(fp.weights), fmtMb(fp.sparseMeta),
+                           fmtMb(fp.activations), fmtMb(fp.scratch),
+                           fmtMb(fp.total)});
+        }
+        table.addRow(std::move(row));
+    }
+    table.print();
+    table.writeCsv("table4.csv");
+    detail.print();
+    detail.writeCsv("table4_detail.csv");
+
+    std::printf("\nShape to verify: w-pruning and quantisation exceed "
+                "plain (CSR metadata on 3x3/1x1 filters); channel "
+                "pruning is far below plain; MobileNet's 1x1-heavy "
+                "layout blows up worst under CSR.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Table V: compression rates with accuracy fixed at 90 % — echoed from
+ * the paper, cross-checked against the calibration model (each rate
+ * should sit at ~90 % on its Fig 3 curve) and against the built
+ * artefacts' achieved rates.
+ */
+
+#include "bench_common.hpp"
+#include "stack/calibration.hpp"
+
+using namespace dlis;
+
+int
+main()
+{
+    TablePrinter table("Table V — compression rates at 90% accuracy "
+                       "(paper / built / calibrated accuracy)");
+    table.setHeader({"model", "WP sparsity", "acc(WP)", "CP rate",
+                     "acc(CP)", "TTQ thr/sparsity", "acc(TTQ)"});
+
+    for (const std::string &model : paperModels()) {
+        const BaselineRates r = tableV(model);
+
+        InferenceStack wp(
+            bench::configFor(model, Technique::WeightPruning, r));
+        InferenceStack cp(
+            bench::configFor(model, Technique::ChannelPruning, r));
+
+        table.addRow(
+            {model,
+             fmtPercent(r.wpSparsity) + " / " +
+                 fmtPercent(wp.achievedSparsity()),
+             fmtPercent(
+                 calib::weightPruningAccuracy(model, r.wpSparsity)),
+             fmtPercent(r.cpRate) + " / " +
+                 fmtPercent(cp.achievedCompressionRate()),
+             fmtPercent(calib::channelPruningAccuracy(model, r.cpRate)),
+             fmtDouble(r.ttqThreshold, 2) + " / " +
+                 fmtPercent(r.ttqSparsity),
+             fmtPercent(calib::ttqAccuracy(model, r.ttqThreshold))});
+    }
+    table.print();
+    table.writeCsv("table5.csv");
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Heterogeneous-backend tour: run the SAME network through every
+ * systems-layer candidate (serial C, OpenMP, hand-tuned OpenCL via the
+ * simulator, CLBlast-style GEMM library), verify they agree
+ * numerically, and show the CLTune-style auto-tuner at work.
+ */
+
+#include <cstdio>
+
+#include "backend/gemmlib/autotuner.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/models/model.hpp"
+#include "nn/shape_walk.hpp"
+
+using namespace dlis;
+
+int
+main()
+{
+    Rng rng(99);
+    Model model = makeResNet18(10, 0.25, rng);
+    Tensor image(Shape{1, 3, 32, 32});
+    image.fillNormal(rng, 0.0f, 1.0f);
+
+    // Reference output: the serial C implementation.
+    ExecContext serial;
+    const Tensor reference = model.net.forward(image, serial);
+
+    std::printf("backend parity vs serial (max |diff| on logits):\n");
+
+    ExecContext omp;
+    omp.backend = Backend::OpenMP;
+    omp.threads = 4;
+    std::printf("  openmp (4 threads):      %.2e\n",
+                model.net.forward(image, omp).maxAbsDiff(reference));
+
+    oclsim::CommandQueue queue;
+    ExecContext ocl;
+    ocl.backend = Backend::OclHandTuned;
+    ocl.queue = &queue;
+    const float ocl_diff =
+        model.net.forward(image, ocl).maxAbsDiff(reference);
+    std::printf("  opencl hand-tuned (sim): %.2e  (%zu kernel "
+                "launches, %zu KiB transferred)\n",
+                ocl_diff, queue.launches().size(),
+                queue.totalTransferBytes() / 1024);
+
+    gemmlib::GemmLibrary lib;
+    ExecContext gemm;
+    gemm.backend = Backend::OclGemmLib;
+    gemm.gemmLib = &lib;
+    const float lib_diff =
+        model.net.forward(image, gemm).maxAbsDiff(reference);
+    std::printf("  clblast-style library:   %.2e  (%zu GEMM calls, "
+                "%.1fx padding waste)\n",
+                lib_diff, lib.stats().kernelLaunches,
+                static_cast<double>(lib.stats().paddedFlops) /
+                    static_cast<double>(lib.stats().flops));
+
+    // What would each backend cost on the Odroid?
+    const CostModel odroid(odroidXu4());
+    const auto costs = collectStageCosts(model.net, image.shape());
+    std::printf("\nsimulated Odroid-XU4 latency:\n");
+    std::printf("  openmp 8 threads:  %.3f s\n",
+                odroid.estimateCpu(costs, 8).total());
+    std::printf("  opencl hand-tuned: %.3f s\n",
+                odroid.estimateOclHandTuned(costs).total());
+    std::printf("  clblast library:   %.3f s\n",
+                odroid.estimateOclGemmLib(costs).total());
+
+    // CLTune-style auto-tuning of the GEMM kernel for one layer shape.
+    std::printf("\nauto-tuning GEMM for a 64x576x1024 conv layer "
+                "(CLTune-style random search):\n");
+    gemmlib::TunerOptions options;
+    options.maxTrials = 6;
+    options.repetitions = 1;
+    const auto results = gemmlib::tuneGemm(64, 576, 1024, options);
+    for (size_t i = 0; i < std::min<size_t>(3, results.size()); ++i)
+        std::printf("  #%zu  %.4fs  %s\n", i + 1, results[i].seconds,
+                    results[i].config.str().c_str());
+    return 0;
+}

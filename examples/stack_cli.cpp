@@ -1,0 +1,128 @@
+/**
+ * @file
+ * stack_cli — assemble and measure any point of the Deep Learning
+ * Inference Stack from the command line.
+ *
+ * Usage:
+ *   stack_cli [--model vgg16|resnet18|mobilenet]
+ *             [--technique plain|wp|cp|ttq]
+ *             [--rate <fraction>]        sparsity / compression rate
+ *             [--format dense|csr|packed]
+ *             [--width <mult>]           width multiplier (default 0.5)
+ *             [--threads <n>]            simulated OpenMP threads
+ *             [--platform odroid|i7]
+ *             [--backend openmp|opencl|clblast]
+ *
+ * Prints the configured stack's achieved compression, simulated
+ * platform time, host-measured time, and memory footprint.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "hw/cost_model.hpp"
+#include "stack/inference_stack.hpp"
+#include "stack/report.hpp"
+
+using namespace dlis;
+
+namespace {
+
+const char *
+argValue(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argValue(argc, argv, "--model", "vgg16");
+    const std::string technique =
+        argValue(argc, argv, "--technique", "plain");
+    const double rate =
+        std::stod(argValue(argc, argv, "--rate", "0.5"));
+    const std::string format =
+        argValue(argc, argv, "--format", "dense");
+    const double width =
+        std::stod(argValue(argc, argv, "--width", "0.5"));
+    const int threads =
+        std::stoi(argValue(argc, argv, "--threads", "4"));
+    const std::string platform =
+        argValue(argc, argv, "--platform", "odroid");
+    const std::string backend =
+        argValue(argc, argv, "--backend", "openmp");
+
+    StackConfig config;
+    config.modelName = model;
+    config.widthMult = width;
+    if (technique == "plain") {
+        config.technique = Technique::None;
+    } else if (technique == "wp") {
+        config.technique = Technique::WeightPruning;
+        config.wpSparsity = rate;
+    } else if (technique == "cp") {
+        config.technique = Technique::ChannelPruning;
+        config.cpRate = rate;
+    } else if (technique == "ttq") {
+        config.technique = Technique::Quantisation;
+        config.ttqSparsity = rate;
+        config.ttqThreshold = 0.1;
+    } else {
+        fatal("unknown technique '", technique, "'");
+    }
+    if (format == "csr")
+        config.format = WeightFormat::Csr;
+    else if (format == "packed")
+        config.format = WeightFormat::PackedTernary;
+    else if (format != "dense")
+        fatal("unknown format '", format, "'");
+
+    InferenceStack stack(config);
+
+    const DeviceModel device =
+        platform == "i7" ? intelCoreI7() : odroidXu4();
+    const CostModel cost(device);
+    const auto costs = stack.stageCosts();
+
+    double simulated = 0.0;
+    if (backend == "openmp") {
+        simulated = cost.estimateCpu(costs, threads).total();
+    } else if (backend == "opencl") {
+        simulated = cost.estimateOclHandTuned(costs).total();
+    } else if (backend == "clblast") {
+        simulated = cost.estimateOclGemmLib(costs).total();
+    } else {
+        fatal("unknown backend '", backend, "'");
+    }
+
+    ExecContext ctx;
+    const double host = stack.measureHostSeconds(ctx, 1);
+    const Footprint fp = stack.measureFootprint();
+
+    std::printf("stack: %s | %s | rate %.2f | %s | width %.2f\n",
+                model.c_str(), techniqueName(config.technique), rate,
+                weightFormatName(config.format), width);
+    std::printf("  parameters:       %zu\n", stack.parameterCount());
+    std::printf("  weight sparsity:  %s\n",
+                fmtPercent(stack.achievedSparsity()).c_str());
+    std::printf("  compression rate: %s\n",
+                fmtPercent(stack.achievedCompressionRate()).c_str());
+    std::printf("  MACs remaining:   %s of dense\n",
+                fmtPercent(stack.macFraction()).c_str());
+    std::printf("  sim %s/%s x%d:    %.4f s\n", device.name.c_str(),
+                backend.c_str(), threads, simulated);
+    std::printf("  host serial:      %.4f s\n", host);
+    std::printf("  memory: total %s MB (weights %s, csr-meta %s, "
+                "activations %s)\n",
+                fmtMb(fp.total).c_str(), fmtMb(fp.weights).c_str(),
+                fmtMb(fp.sparseMeta).c_str(),
+                fmtMb(fp.activations).c_str());
+    return 0;
+}

@@ -1,0 +1,341 @@
+#include "backend/conv_kernels.hpp"
+
+#if DLIS_HAVE_OPENMP
+#include <omp.h>
+#endif
+
+namespace dlis::kernels {
+
+namespace {
+
+/**
+ * Serial body: one (image, output-channel) pair of a dense direct conv.
+ */
+void
+denseConvOneChannel(const ConvParams &p, const float *input,
+                    const float *weight, const float *bias,
+                    float *output, size_t img, size_t oc)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const float *in_img = input + img * p.cin * p.hin * p.win;
+    const float *w_oc = weight + oc * p.cin * p.kh * p.kw;
+    float *out_ch = output + (img * p.cout + oc) * ho * wo;
+    const float b = bias ? bias[oc] : 0.0f;
+
+    for (size_t oy = 0; oy < ho; ++oy) {
+        for (size_t ox = 0; ox < wo; ++ox) {
+            float acc = b;
+            const ptrdiff_t iy0 =
+                static_cast<ptrdiff_t>(oy * p.stride) -
+                static_cast<ptrdiff_t>(p.pad);
+            const ptrdiff_t ix0 =
+                static_cast<ptrdiff_t>(ox * p.stride) -
+                static_cast<ptrdiff_t>(p.pad);
+            for (size_t ci = 0; ci < p.cin; ++ci) {
+                const float *in_ch = in_img + ci * p.hin * p.win;
+                const float *w_ci = w_oc + ci * p.kh * p.kw;
+                for (size_t ky = 0; ky < p.kh; ++ky) {
+                    const ptrdiff_t iy = iy0 + static_cast<ptrdiff_t>(ky);
+                    if (iy < 0 || iy >= static_cast<ptrdiff_t>(p.hin))
+                        continue;
+                    for (size_t kx = 0; kx < p.kw; ++kx) {
+                        const ptrdiff_t ix =
+                            ix0 + static_cast<ptrdiff_t>(kx);
+                        if (ix < 0 || ix >= static_cast<ptrdiff_t>(p.win))
+                            continue;
+                        acc += w_ci[ky * p.kw + kx] *
+                               in_ch[iy * p.win + ix];
+                    }
+                }
+            }
+            out_ch[oy * wo + ox] = acc;
+        }
+    }
+}
+
+/** One (image, output-channel) pair of a CSR-sparse direct conv. */
+void
+csrConvOneChannel(const ConvParams &p, const float *input,
+                  const CsrMatrix &weight, const float *bias,
+                  float *output, size_t img, size_t oc)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const float *in_img = input + img * p.cin * p.hin * p.win;
+    float *out_ch = output + (img * p.cout + oc) * ho * wo;
+    const float b = bias ? bias[oc] : 0.0f;
+
+    const auto &row_ptr = weight.rowPtr();
+    const auto &col_idx = weight.colIdx();
+    const auto &vals = weight.values();
+
+    for (size_t i = 0; i < ho * wo; ++i)
+        out_ch[i] = b;
+
+    // Scatter each non-zero weight across the spatial output; this is
+    // the classic direct-sparse formulation: nnz * ho * wo MACs with an
+    // index-decode per non-zero.
+    for (int32_t k = row_ptr[oc]; k < row_ptr[oc + 1]; ++k) {
+        const size_t flat = static_cast<size_t>(col_idx[k]);
+        const size_t ci = flat / (p.kh * p.kw);
+        const size_t ky = (flat / p.kw) % p.kh;
+        const size_t kx = flat % p.kw;
+        const float v = vals[k];
+        const float *in_ch = in_img + ci * p.hin * p.win;
+
+        for (size_t oy = 0; oy < ho; ++oy) {
+            const ptrdiff_t iy =
+                static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                static_cast<ptrdiff_t>(p.pad);
+            if (iy < 0 || iy >= static_cast<ptrdiff_t>(p.hin))
+                continue;
+            for (size_t ox = 0; ox < wo; ++ox) {
+                const ptrdiff_t ix =
+                    static_cast<ptrdiff_t>(ox * p.stride + kx) -
+                    static_cast<ptrdiff_t>(p.pad);
+                if (ix < 0 || ix >= static_cast<ptrdiff_t>(p.win))
+                    continue;
+                out_ch[oy * wo + ox] += v * in_ch[iy * p.win + ix];
+            }
+        }
+    }
+}
+
+/** One (image, output-channel) pair of a per-slice CSR conv. */
+void
+csrBankConvOneChannel(const ConvParams &p, const float *input,
+                      const CsrFilterBank &bank, const float *bias,
+                      float *output, size_t img, size_t oc)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const float *in_img = input + img * p.cin * p.hin * p.win;
+    float *out_ch = output + (img * p.cout + oc) * ho * wo;
+    const float b = bias ? bias[oc] : 0.0f;
+
+    for (size_t i = 0; i < ho * wo; ++i)
+        out_ch[i] = b;
+
+    for (size_t ci = 0; ci < p.cin; ++ci) {
+        const CsrSlice &s = bank.slice(oc, ci);
+        if (s.nnz() == 0)
+            continue;
+        const float *in_ch = in_img + ci * p.hin * p.win;
+        for (size_t ky = 0; ky < p.kh; ++ky) {
+            for (int32_t k = s.rowPtr[ky]; k < s.rowPtr[ky + 1]; ++k) {
+                const size_t kx = static_cast<size_t>(s.colIdx[k]);
+                const float v = s.values[k];
+                for (size_t oy = 0; oy < ho; ++oy) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<ptrdiff_t>(p.pad);
+                    if (iy < 0 || iy >= static_cast<ptrdiff_t>(p.hin))
+                        continue;
+                    for (size_t ox = 0; ox < wo; ++ox) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(ox * p.stride + kx) -
+                            static_cast<ptrdiff_t>(p.pad);
+                        if (ix < 0 ||
+                            ix >= static_cast<ptrdiff_t>(p.win))
+                            continue;
+                        out_ch[oy * wo + ox] +=
+                            v * in_ch[iy * p.win + ix];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** One (image, output-channel) pair of a packed-ternary conv. */
+void
+packedTernaryConvOneChannel(const ConvParams &p, const float *input,
+                            const PackedTernary &weight,
+                            const float *bias, float *output,
+                            size_t img, size_t oc)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const float *in_img = input + img * p.cin * p.hin * p.win;
+    float *out_ch = output + (img * p.cout + oc) * ho * wo;
+    const float b = bias ? bias[oc] : 0.0f;
+    const size_t filter = p.cin * p.kh * p.kw;
+    const float wp = weight.wp(), wn = weight.wn();
+
+    for (size_t oy = 0; oy < ho; ++oy) {
+        for (size_t ox = 0; ox < wo; ++ox) {
+            // Two accumulators: the multiply happens once per pixel.
+            float pos = 0.0f, neg = 0.0f;
+            size_t idx = oc * filter;
+            for (size_t ci = 0; ci < p.cin; ++ci) {
+                const float *in_ch = in_img + ci * p.hin * p.win;
+                for (size_t ky = 0; ky < p.kh; ++ky) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<ptrdiff_t>(p.pad);
+                    if (iy < 0 ||
+                        iy >= static_cast<ptrdiff_t>(p.hin)) {
+                        idx += p.kw;
+                        continue;
+                    }
+                    for (size_t kx = 0; kx < p.kw; ++kx, ++idx) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(
+                                ox * p.stride + kx) -
+                            static_cast<ptrdiff_t>(p.pad);
+                        if (ix < 0 ||
+                            ix >= static_cast<ptrdiff_t>(p.win))
+                            continue;
+                        const float v = weight.decode(idx);
+                        if (v > 0.0f)
+                            pos += in_ch[iy * p.win + ix];
+                        else if (v < 0.0f)
+                            neg += in_ch[iy * p.win + ix];
+                    }
+                }
+            }
+            out_ch[oy * wo + ox] = b + wp * pos - wn * neg;
+        }
+    }
+}
+
+/** One (image, channel) pair of a depthwise direct conv. */
+void
+depthwiseConvOneChannel(const ConvParams &p, const float *input,
+                        const float *weight, const float *bias,
+                        float *output, size_t img, size_t ch)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const float *in_ch =
+        input + (img * p.cin + ch) * p.hin * p.win;
+    const float *w_ch = weight + ch * p.kh * p.kw;
+    float *out_ch = output + (img * p.cout + ch) * ho * wo;
+    const float b = bias ? bias[ch] : 0.0f;
+
+    for (size_t oy = 0; oy < ho; ++oy) {
+        for (size_t ox = 0; ox < wo; ++ox) {
+            float acc = b;
+            for (size_t ky = 0; ky < p.kh; ++ky) {
+                const ptrdiff_t iy =
+                    static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                    static_cast<ptrdiff_t>(p.pad);
+                if (iy < 0 || iy >= static_cast<ptrdiff_t>(p.hin))
+                    continue;
+                for (size_t kx = 0; kx < p.kw; ++kx) {
+                    const ptrdiff_t ix =
+                        static_cast<ptrdiff_t>(ox * p.stride + kx) -
+                        static_cast<ptrdiff_t>(p.pad);
+                    if (ix < 0 || ix >= static_cast<ptrdiff_t>(p.win))
+                        continue;
+                    acc += w_ch[ky * p.kw + kx] *
+                           in_ch[iy * p.win + ix];
+                }
+            }
+            out_ch[oy * wo + ox] = acc;
+        }
+    }
+}
+
+/**
+ * Run @p body over the flattened (image x channel) loop, serial or
+ * OpenMP-parallel with dynamic scheduling per the paper's §IV-D.
+ */
+template <typename Body>
+void
+forEachImageChannel(size_t images, size_t channels,
+                    const KernelPolicy &policy, Body &&body)
+{
+    const size_t total = images * channels;
+#if DLIS_HAVE_OPENMP
+    if (policy.threads > 1) {
+        if (policy.dynamicSchedule) {
+            #pragma omp parallel for schedule(dynamic) \
+                num_threads(policy.threads)
+            for (size_t i = 0; i < total; ++i)
+                body(i / channels, i % channels);
+        } else {
+            #pragma omp parallel for schedule(static) \
+                num_threads(policy.threads)
+            for (size_t i = 0; i < total; ++i)
+                body(i / channels, i % channels);
+        }
+        return;
+    }
+#endif
+    for (size_t i = 0; i < total; ++i)
+        body(i / channels, i % channels);
+}
+
+} // namespace
+
+void
+convDirectDense(const ConvParams &p, const float *input,
+                const float *weight, const float *bias, float *output,
+                const KernelPolicy &policy)
+{
+    forEachImageChannel(p.n, p.cout, policy,
+        [&](size_t img, size_t oc) {
+            denseConvOneChannel(p, input, weight, bias, output, img, oc);
+        });
+}
+
+void
+convDirectCsr(const ConvParams &p, const float *input,
+              const CsrMatrix &weight, const float *bias, float *output,
+              const KernelPolicy &policy)
+{
+    DLIS_CHECK(weight.rows() == p.cout &&
+               weight.cols() == p.cin * p.kh * p.kw,
+               "CSR filter is ", weight.rows(), "x", weight.cols(),
+               ", conv expects ", p.cout, "x", p.cin * p.kh * p.kw);
+    forEachImageChannel(p.n, p.cout, policy,
+        [&](size_t img, size_t oc) {
+            csrConvOneChannel(p, input, weight, bias, output, img, oc);
+        });
+}
+
+void
+convDirectCsrBank(const ConvParams &p, const float *input,
+                  const CsrFilterBank &bank, const float *bias,
+                  float *output, const KernelPolicy &policy)
+{
+    DLIS_CHECK(bank.outChannels() == p.cout &&
+               bank.inChannels() == p.cin && bank.kernelH() == p.kh &&
+               bank.kernelW() == p.kw,
+               "filter bank is [", bank.outChannels(), ", ",
+               bank.inChannels(), ", ", bank.kernelH(), ", ",
+               bank.kernelW(), "], conv expects [", p.cout, ", ", p.cin,
+               ", ", p.kh, ", ", p.kw, "]");
+    forEachImageChannel(p.n, p.cout, policy,
+        [&](size_t img, size_t oc) {
+            csrBankConvOneChannel(p, input, bank, bias, output, img, oc);
+        });
+}
+
+void
+convDirectPackedTernary(const ConvParams &p, const float *input,
+                        const PackedTernary &weight, const float *bias,
+                        float *output, const KernelPolicy &policy)
+{
+    DLIS_CHECK(weight.numel() == p.cout * p.cin * p.kh * p.kw,
+               "packed ternary weight has ", weight.numel(),
+               " codes, conv expects ", p.cout * p.cin * p.kh * p.kw);
+    forEachImageChannel(p.n, p.cout, policy,
+        [&](size_t img, size_t oc) {
+            packedTernaryConvOneChannel(p, input, weight, bias, output,
+                                        img, oc);
+        });
+}
+
+void
+convDepthwiseDense(const ConvParams &p, const float *input,
+                   const float *weight, const float *bias, float *output,
+                   const KernelPolicy &policy)
+{
+    DLIS_CHECK(p.cout == p.cin, "depthwise conv needs cout == cin, got ",
+               p.cout, " vs ", p.cin);
+    forEachImageChannel(p.n, p.cout, policy,
+        [&](size_t img, size_t ch) {
+            depthwiseConvOneChannel(p, input, weight, bias, output, img,
+                                    ch);
+        });
+}
+
+} // namespace dlis::kernels

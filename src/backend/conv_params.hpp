@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared convolution geometry used by every backend kernel.
+ */
+
+#ifndef DLIS_BACKEND_CONV_PARAMS_HPP
+#define DLIS_BACKEND_CONV_PARAMS_HPP
+
+#include <cstddef>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+/** Geometry of a 2-D convolution (square stride/padding). */
+struct ConvParams
+{
+    size_t n = 1;      //!< batch size
+    size_t cin = 0;    //!< input channels
+    size_t hin = 0;    //!< input height
+    size_t win = 0;    //!< input width
+    size_t cout = 0;   //!< output channels
+    size_t kh = 0;     //!< kernel height
+    size_t kw = 0;     //!< kernel width
+    size_t stride = 1; //!< spatial stride
+    size_t pad = 0;    //!< zero padding on every side
+
+    /** Output height. */
+    size_t
+    hout() const
+    {
+        DLIS_CHECK(hin + 2 * pad >= kh, "conv kernel taller than input");
+        return (hin + 2 * pad - kh) / stride + 1;
+    }
+
+    /** Output width. */
+    size_t
+    wout() const
+    {
+        DLIS_CHECK(win + 2 * pad >= kw, "conv kernel wider than input");
+        return (win + 2 * pad - kw) / stride + 1;
+    }
+
+    /** Multiply-accumulates for a dense direct convolution. */
+    size_t
+    macs() const
+    {
+        return n * cout * hout() * wout() * cin * kh * kw;
+    }
+};
+
+/** Threading policy handed to kernels. */
+struct KernelPolicy
+{
+    int threads = 1;       //!< OpenMP thread count (1 = serial path)
+    bool dynamicSchedule = true; //!< dynamic loop scheduling (paper's choice)
+};
+
+} // namespace dlis
+
+#endif // DLIS_BACKEND_CONV_PARAMS_HPP

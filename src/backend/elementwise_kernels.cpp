@@ -1,0 +1,106 @@
+#include "backend/elementwise_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlis::kernels {
+
+void
+reluInPlace(float *data, size_t count, const KernelPolicy &policy)
+{
+#if DLIS_HAVE_OPENMP
+    if (policy.threads > 1) {
+        #pragma omp parallel for schedule(static) \
+            num_threads(policy.threads)
+        for (size_t i = 0; i < count; ++i)
+            data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+        return;
+    }
+#else
+    (void)policy;
+#endif
+    for (size_t i = 0; i < count; ++i)
+        data[i] = data[i] > 0.0f ? data[i] : 0.0f;
+}
+
+void
+batchNormInference(const float *input, float *output, size_t n, size_t c,
+                   size_t hw, const float *gamma, const float *beta,
+                   const float *mean, const float *var, float eps,
+                   const KernelPolicy &policy)
+{
+    (void)policy;
+    for (size_t img = 0; img < n; ++img) {
+        for (size_t ch = 0; ch < c; ++ch) {
+            const float scale =
+                gamma[ch] / std::sqrt(var[ch] + eps);
+            const float shift = beta[ch] - scale * mean[ch];
+            const float *in = input + (img * c + ch) * hw;
+            float *out = output + (img * c + ch) * hw;
+            for (size_t i = 0; i < hw; ++i)
+                out[i] = scale * in[i] + shift;
+        }
+    }
+}
+
+void
+maxPool(const float *input, float *output, size_t n, size_t c, size_t hin,
+        size_t win, size_t k, const KernelPolicy &policy)
+{
+    (void)policy;
+    const size_t ho = hin / k, wo = win / k;
+    for (size_t img = 0; img < n; ++img) {
+        for (size_t ch = 0; ch < c; ++ch) {
+            const float *in = input + (img * c + ch) * hin * win;
+            float *out = output + (img * c + ch) * ho * wo;
+            for (size_t oy = 0; oy < ho; ++oy) {
+                for (size_t ox = 0; ox < wo; ++ox) {
+                    float best = in[(oy * k) * win + ox * k];
+                    for (size_t ky = 0; ky < k; ++ky)
+                        for (size_t kx = 0; kx < k; ++kx)
+                            best = std::max(
+                                best,
+                                in[(oy * k + ky) * win + ox * k + kx]);
+                    out[oy * wo + ox] = best;
+                }
+            }
+        }
+    }
+}
+
+void
+globalAvgPool(const float *input, float *output, size_t n, size_t c,
+              size_t hw, const KernelPolicy &policy)
+{
+    (void)policy;
+    for (size_t img = 0; img < n; ++img) {
+        for (size_t ch = 0; ch < c; ++ch) {
+            const float *in = input + (img * c + ch) * hw;
+            float acc = 0.0f;
+            for (size_t i = 0; i < hw; ++i)
+                acc += in[i];
+            output[img * c + ch] = acc / static_cast<float>(hw);
+        }
+    }
+}
+
+void
+softmax(const float *input, float *output, size_t n, size_t classes)
+{
+    for (size_t img = 0; img < n; ++img) {
+        const float *in = input + img * classes;
+        float *out = output + img * classes;
+        float maxv = in[0];
+        for (size_t i = 1; i < classes; ++i)
+            maxv = std::max(maxv, in[i]);
+        float denom = 0.0f;
+        for (size_t i = 0; i < classes; ++i) {
+            out[i] = std::exp(in[i] - maxv);
+            denom += out[i];
+        }
+        for (size_t i = 0; i < classes; ++i)
+            out[i] /= denom;
+    }
+}
+
+} // namespace dlis::kernels

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Elementwise and reduction kernels: ReLU, batch-norm (inference form),
+ * max pooling, global average pooling, softmax.
+ */
+
+#ifndef DLIS_BACKEND_ELEMENTWISE_KERNELS_HPP
+#define DLIS_BACKEND_ELEMENTWISE_KERNELS_HPP
+
+#include <cstddef>
+
+#include "backend/conv_params.hpp"
+
+namespace dlis::kernels {
+
+/** In-place ReLU over @p count elements. */
+void reluInPlace(float *data, size_t count, const KernelPolicy &policy);
+
+/**
+ * Inference batch-norm: y = gamma * (x - mean) / sqrt(var + eps) + beta,
+ * applied per channel of an NCHW tensor.
+ */
+void batchNormInference(const float *input, float *output, size_t n,
+                        size_t c, size_t hw, const float *gamma,
+                        const float *beta, const float *mean,
+                        const float *var, float eps,
+                        const KernelPolicy &policy);
+
+/**
+ * Max pooling with square kernel/stride (no padding).
+ *
+ * @param n, c     batch and channels
+ * @param hin,win  input spatial dims
+ * @param k        pooling window and stride (k x k, stride k)
+ */
+void maxPool(const float *input, float *output, size_t n, size_t c,
+             size_t hin, size_t win, size_t k, const KernelPolicy &policy);
+
+/** Global average pooling: NCHW -> NC. */
+void globalAvgPool(const float *input, float *output, size_t n, size_t c,
+                   size_t hw, const KernelPolicy &policy);
+
+/** Row-wise softmax over an [n, classes] matrix. */
+void softmax(const float *input, float *output, size_t n, size_t classes);
+
+} // namespace dlis::kernels
+
+#endif // DLIS_BACKEND_ELEMENTWISE_KERNELS_HPP

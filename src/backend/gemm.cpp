@@ -1,0 +1,115 @@
+#include "backend/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace dlis::kernels {
+
+void
+gemmNaive(const float *a, const float *b, float *c, size_t m, size_t k,
+          size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t i = 0; i < m; ++i) {
+        for (size_t p = 0; p < k; ++p) {
+            const float av = a[i * k + p];
+            if (av == 0.0f)
+                continue;
+            const float *brow = b + p * n;
+            float *crow = c + i * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
+            size_t n, const KernelPolicy &policy, size_t tileM,
+            size_t tileN, size_t tileK)
+{
+    const size_t tm = tileM ? tileM : 32;
+    const size_t tn = tileN ? tileN : 64;
+    const size_t tk = tileK ? tileK : 64;
+
+    std::memset(c, 0, m * n * sizeof(float));
+
+    const size_t row_tiles = (m + tm - 1) / tm;
+
+    auto tile_body = [&](size_t ti) {
+        const size_t i0 = ti * tm;
+        const size_t i1 = std::min(i0 + tm, m);
+        for (size_t p0 = 0; p0 < k; p0 += tk) {
+            const size_t p1 = std::min(p0 + tk, k);
+            for (size_t j0 = 0; j0 < n; j0 += tn) {
+                const size_t j1 = std::min(j0 + tn, n);
+                for (size_t i = i0; i < i1; ++i) {
+                    float *crow = c + i * n;
+                    for (size_t p = p0; p < p1; ++p) {
+                        const float av = a[i * k + p];
+                        const float *brow = b + p * n;
+                        for (size_t j = j0; j < j1; ++j)
+                            crow[j] += av * brow[j];
+                    }
+                }
+            }
+        }
+    };
+
+#if DLIS_HAVE_OPENMP
+    if (policy.threads > 1) {
+        #pragma omp parallel for schedule(dynamic) \
+            num_threads(policy.threads)
+        for (size_t ti = 0; ti < row_tiles; ++ti)
+            tile_body(ti);
+        return;
+    }
+#else
+    (void)policy;
+#endif
+    for (size_t ti = 0; ti < row_tiles; ++ti)
+        tile_body(ti);
+}
+
+void
+gemmAtB(const float *a, const float *b, float *c, size_t m, size_t k,
+        size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t p = 0; p < k; ++p) {
+        const float *arow = a + p * m;
+        const float *brow = b + p * n;
+        for (size_t i = 0; i < m; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c + i * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+gemmABt(const float *a, const float *b, float *c, size_t m, size_t k,
+        size_t n, bool accumulate)
+{
+    if (!accumulate)
+        std::memset(c, 0, m * n * sizeof(float));
+    for (size_t i = 0; i < m; ++i) {
+        const float *arow = a + i * k;
+        float *crow = c + i * n;
+        for (size_t j = 0; j < n; ++j) {
+            const float *brow = b + j * k;
+            float acc = 0.0f;
+            for (size_t p = 0; p < k; ++p)
+                acc += arow[p] * brow[p];
+            crow[j] += acc;
+        }
+    }
+}
+
+} // namespace dlis::kernels

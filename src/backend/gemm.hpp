@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Dense GEMM kernels: naive reference and cache-blocked.
+ *
+ * The blocked kernel is the building block of the CLBlast-style tuned
+ * library (backend/gemmlib); the naive kernel is the reference every
+ * other path is checked against in the tests.
+ */
+
+#ifndef DLIS_BACKEND_GEMM_HPP
+#define DLIS_BACKEND_GEMM_HPP
+
+#include <cstddef>
+
+#include "backend/conv_params.hpp"
+
+namespace dlis::kernels {
+
+/**
+ * Reference GEMM: C = A * B (+ C if accumulate).
+ *
+ * @param a  row-major [m, k]
+ * @param b  row-major [k, n]
+ * @param c  row-major [m, n]
+ */
+void gemmNaive(const float *a, const float *b, float *c, size_t m,
+               size_t k, size_t n, bool accumulate = false);
+
+/**
+ * Cache-blocked GEMM with tile sizes; serial or OpenMP over row tiles.
+ *
+ * @param tileM/tileN/tileK  blocking factors (0 means a default)
+ */
+void gemmBlocked(const float *a, const float *b, float *c, size_t m,
+                 size_t k, size_t n, const KernelPolicy &policy,
+                 size_t tileM = 0, size_t tileN = 0, size_t tileK = 0);
+
+/** C = A^T * B where A is row-major [k, m]; used by conv backward. */
+void gemmAtB(const float *a, const float *b, float *c, size_t m,
+             size_t k, size_t n, bool accumulate = false);
+
+/** C = A * B^T where B is row-major [n, k]; used by conv backward. */
+void gemmABt(const float *a, const float *b, float *c, size_t m,
+             size_t k, size_t n, bool accumulate = false);
+
+} // namespace dlis::kernels
+
+#endif // DLIS_BACKEND_GEMM_HPP

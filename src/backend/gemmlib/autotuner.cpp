@@ -1,0 +1,97 @@
+#include "backend/gemmlib/autotuner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace dlis::gemmlib {
+
+namespace {
+
+/** The discrete candidate values per parameter, CLTune-style. */
+const size_t kTileM[] = {16, 32, 64};
+const size_t kTileN[] = {16, 32, 64, 128};
+const size_t kTileK[] = {16, 32, 64};
+const size_t kDim[] = {4, 8, 16};
+const size_t kVec[] = {1, 2, 4, 8};
+const size_t kUnroll[] = {1, 2, 4};
+
+template <typename T, size_t N>
+T
+pick(Rng &rng, const T (&values)[N])
+{
+    return values[rng.uniformInt(N)];
+}
+
+TuneConfig
+randomConfig(Rng &rng)
+{
+    TuneConfig c;
+    c.mwg = pick(rng, kTileM);
+    c.nwg = pick(rng, kTileN);
+    c.kwg = pick(rng, kTileK);
+    c.mdimc = pick(rng, kDim);
+    c.ndimc = pick(rng, kDim);
+    c.mdima = pick(rng, kDim);
+    c.ndimb = pick(rng, kDim);
+    c.kwi = pick(rng, kUnroll);
+    c.vwm = pick(rng, kVec);
+    c.vwn = pick(rng, kVec);
+    c.strm = rng.bernoulli(0.5);
+    c.strn = rng.bernoulli(0.5);
+    c.sa = rng.bernoulli(0.5);
+    c.sb = rng.bernoulli(0.5);
+    return c;
+}
+
+double
+timeConfig(const TuneConfig &config, size_t m, size_t k, size_t n,
+           size_t reps, Rng &rng)
+{
+    std::vector<float> a(m * k), b(k * n), c(m * n);
+    for (auto &v : a)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (auto &v : b)
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+    GemmLibrary lib(config);
+    KernelPolicy policy; // tuner measures the single-threaded kernel
+
+    double best = 1e30;
+    for (size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        lib.gemm(a.data(), b.data(), c.data(), m, k, n, policy);
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+} // namespace
+
+std::vector<TuneResult>
+tuneGemm(size_t m, size_t k, size_t n, const TunerOptions &options)
+{
+    Rng rng(options.seed);
+    std::vector<TuneResult> results;
+    results.reserve(options.maxTrials);
+
+    // Always include the library default as the first candidate so the
+    // tuner can never return something worse than "untuned".
+    results.push_back({TuneConfig{}, 0.0});
+    for (size_t t = 1; t < options.maxTrials; ++t)
+        results.push_back({randomConfig(rng), 0.0});
+
+    for (auto &r : results)
+        r.seconds =
+            timeConfig(r.config, m, k, n, options.repetitions, rng);
+
+    std::sort(results.begin(), results.end(),
+              [](const TuneResult &x, const TuneResult &y) {
+                  return x.seconds < y.seconds;
+              });
+    return results;
+}
+
+} // namespace dlis::gemmlib

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CLTune-style auto-tuner for the GEMM library.
+ *
+ * CLBlast ships CLTune, which searches the ~14-parameter kernel
+ * configuration space for a given device and problem size. This tuner
+ * does the same over TuneConfig: it enumerates a candidate space
+ * (optionally randomly subsampled), times the real kernel on the host
+ * for the requested problem size, and returns the best configuration.
+ */
+
+#ifndef DLIS_BACKEND_GEMMLIB_AUTOTUNER_HPP
+#define DLIS_BACKEND_GEMMLIB_AUTOTUNER_HPP
+
+#include <vector>
+
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "core/rng.hpp"
+
+namespace dlis::gemmlib {
+
+/** One evaluated tuning point. */
+struct TuneResult
+{
+    TuneConfig config;
+    double seconds = 0.0;
+};
+
+/** Search options. */
+struct TunerOptions
+{
+    size_t maxTrials = 16;  //!< random subsample size of the space
+    size_t repetitions = 2; //!< timing repetitions per candidate
+    uint64_t seed = 42;     //!< RNG seed for the subsample
+};
+
+/**
+ * Tune GEMM for an (m, k, n) problem size.
+ *
+ * @returns every evaluated point, best (fastest) first.
+ */
+std::vector<TuneResult> tuneGemm(size_t m, size_t k, size_t n,
+                                 const TunerOptions &options = {});
+
+} // namespace dlis::gemmlib
+
+#endif // DLIS_BACKEND_GEMMLIB_AUTOTUNER_HPP

@@ -1,0 +1,77 @@
+#include "backend/im2col.hpp"
+
+namespace dlis::kernels {
+
+size_t
+im2colBufferSize(const ConvParams &p)
+{
+    return p.cin * p.kh * p.kw * p.hout() * p.wout();
+}
+
+void
+im2col(const ConvParams &p, const float *input, float *cols)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const size_t out_spatial = ho * wo;
+    size_t row = 0;
+    for (size_t ci = 0; ci < p.cin; ++ci) {
+        const float *in_ch = input + ci * p.hin * p.win;
+        for (size_t ky = 0; ky < p.kh; ++ky) {
+            for (size_t kx = 0; kx < p.kw; ++kx, ++row) {
+                float *out_row = cols + row * out_spatial;
+                for (size_t oy = 0; oy < ho; ++oy) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<ptrdiff_t>(p.pad);
+                    for (size_t ox = 0; ox < wo; ++ox) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(ox * p.stride + kx) -
+                            static_cast<ptrdiff_t>(p.pad);
+                        float v = 0.0f;
+                        if (iy >= 0 &&
+                            iy < static_cast<ptrdiff_t>(p.hin) &&
+                            ix >= 0 &&
+                            ix < static_cast<ptrdiff_t>(p.win)) {
+                            v = in_ch[iy * p.win + ix];
+                        }
+                        out_row[oy * wo + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+col2im(const ConvParams &p, const float *cols, float *input)
+{
+    const size_t ho = p.hout(), wo = p.wout();
+    const size_t out_spatial = ho * wo;
+    size_t row = 0;
+    for (size_t ci = 0; ci < p.cin; ++ci) {
+        float *in_ch = input + ci * p.hin * p.win;
+        for (size_t ky = 0; ky < p.kh; ++ky) {
+            for (size_t kx = 0; kx < p.kw; ++kx, ++row) {
+                const float *in_row = cols + row * out_spatial;
+                for (size_t oy = 0; oy < ho; ++oy) {
+                    const ptrdiff_t iy =
+                        static_cast<ptrdiff_t>(oy * p.stride + ky) -
+                        static_cast<ptrdiff_t>(p.pad);
+                    if (iy < 0 || iy >= static_cast<ptrdiff_t>(p.hin))
+                        continue;
+                    for (size_t ox = 0; ox < wo; ++ox) {
+                        const ptrdiff_t ix =
+                            static_cast<ptrdiff_t>(ox * p.stride + kx) -
+                            static_cast<ptrdiff_t>(p.pad);
+                        if (ix < 0 ||
+                            ix >= static_cast<ptrdiff_t>(p.win))
+                            continue;
+                        in_ch[iy * p.win + ix] += in_row[oy * wo + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace dlis::kernels

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fully-connected (linear) layer kernels, dense and CSR-sparse.
+ */
+
+#ifndef DLIS_BACKEND_LINEAR_KERNELS_HPP
+#define DLIS_BACKEND_LINEAR_KERNELS_HPP
+
+#include <cstddef>
+
+#include "backend/conv_params.hpp"
+#include "sparse/csr.hpp"
+
+namespace dlis::kernels {
+
+/**
+ * Dense linear: out[b, o] = sum_i w[o, i] * in[b, i] + bias[o].
+ *
+ * @param in      [batch, inFeatures] row-major
+ * @param weight  [outFeatures, inFeatures] row-major
+ * @param bias    per-output bias (may be nullptr)
+ * @param out     [batch, outFeatures]; overwritten
+ */
+void linearDense(const float *in, const float *weight, const float *bias,
+                 float *out, size_t batch, size_t inFeatures,
+                 size_t outFeatures, const KernelPolicy &policy);
+
+/** CSR-sparse linear: weight rows hold non-zeros of each output. */
+void linearCsr(const float *in, const CsrMatrix &weight,
+               const float *bias, float *out, size_t batch,
+               size_t inFeatures, size_t outFeatures,
+               const KernelPolicy &policy);
+
+} // namespace dlis::kernels
+
+#endif // DLIS_BACKEND_LINEAR_KERNELS_HPP

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * OpenCL-style device kernels for the oclsim engine.
+ *
+ * Two code paths mirror the paper's §V-F:
+ *  - clConvDirect: the hand-tuned dot-product kernel. One work-item per
+ *    output pixel, 4x4 work-groups, float16-style vectorised inner loop
+ *    (expressed as a 16-wide unrolled accumulation).
+ *  - clGemmTiled: a local-memory tiled GEMM (the shape CLBlast
+ *    generates), expressed as a per-work-group kernel whose internal
+ *    loops are barrier-phased.
+ *
+ * Inputs and outputs are flat 1-D arrays, as the paper notes all
+ * matrices are flattened before crossing the host/device boundary.
+ */
+
+#ifndef DLIS_BACKEND_OCLSIM_CL_KERNELS_HPP
+#define DLIS_BACKEND_OCLSIM_CL_KERNELS_HPP
+
+#include "backend/conv_params.hpp"
+#include "backend/oclsim/ndrange.hpp"
+
+namespace dlis::oclsim {
+
+/** Hand-tuned launch configuration from the paper: 4x4 work-items. */
+struct HandTunedConfig
+{
+    size_t wgX = 4;        //!< work-group size, x
+    size_t wgY = 4;        //!< work-group size, y
+    size_t vectorWidth = 16; //!< SIMD vector width of the inner loop
+};
+
+/**
+ * Enqueue the hand-tuned direct convolution on @p queue.
+ *
+ * @param p       conv geometry
+ * @param input   flattened NCHW input buffer
+ * @param weight  flattened OIHW filter buffer
+ * @param bias    per-channel bias or nullptr
+ * @param output  flattened NCHW output buffer
+ * @param cfg     work-group / vector configuration
+ */
+void clConvDirect(CommandQueue &queue, const ConvParams &p,
+                  const float *input, const float *weight,
+                  const float *bias, float *output,
+                  const HandTunedConfig &cfg = {});
+
+/**
+ * Enqueue a local-memory tiled GEMM: C = A * B.
+ *
+ * @param tile  square tile edge (work-group is tile x tile)
+ */
+void clGemmTiled(CommandQueue &queue, const float *a, const float *b,
+                 float *c, size_t m, size_t k, size_t n, size_t tile);
+
+} // namespace dlis::oclsim
+
+#endif // DLIS_BACKEND_OCLSIM_CL_KERNELS_HPP

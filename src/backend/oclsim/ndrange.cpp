@@ -1,0 +1,100 @@
+#include "backend/oclsim/ndrange.hpp"
+
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace dlis::oclsim {
+
+size_t
+NDRange::totalItems() const
+{
+    return global[0] * global[1] * global[2];
+}
+
+size_t
+NDRange::totalGroups() const
+{
+    size_t groups = 1;
+    for (int d = 0; d < 3; ++d) {
+        DLIS_CHECK(local[d] > 0, "local size must be positive");
+        DLIS_CHECK(global[d] % local[d] == 0,
+                   "global size ", global[d],
+                   " not divisible by local size ", local[d],
+                   " in dim ", d);
+        groups *= global[d] / local[d];
+    }
+    return groups;
+}
+
+void
+CommandQueue::enqueue(const NDRange &range,
+                      const std::function<void(const WorkItem &)> &kernel)
+{
+    launches_.push_back(
+        {range.totalItems(), range.totalGroups(), 0});
+
+    WorkItem item;
+    for (size_t z = 0; z < range.global[2]; ++z) {
+        for (size_t y = 0; y < range.global[1]; ++y) {
+            for (size_t x = 0; x < range.global[0]; ++x) {
+                item.global = {x, y, z};
+                item.local = {x % range.local[0], y % range.local[1],
+                              z % range.local[2]};
+                item.group = {x / range.local[0], y / range.local[1],
+                              z / range.local[2]};
+                kernel(item);
+            }
+        }
+    }
+}
+
+void
+CommandQueue::enqueueGroups(
+    const NDRange &range, size_t localMemBytes,
+    const std::function<void(const WorkGroup &, float *)> &kernel)
+{
+    launches_.push_back(
+        {range.totalItems(), range.totalGroups(), localMemBytes});
+
+    std::vector<float> local_mem(
+        (localMemBytes + sizeof(float) - 1) / sizeof(float));
+
+    WorkGroup group;
+    group.size = range.local;
+    const size_t gx = range.global[0] / range.local[0];
+    const size_t gy = range.global[1] / range.local[1];
+    const size_t gz = range.global[2] / range.local[2];
+    for (size_t z = 0; z < gz; ++z) {
+        for (size_t y = 0; y < gy; ++y) {
+            for (size_t x = 0; x < gx; ++x) {
+                group.id = {x, y, z};
+                kernel(group, local_mem.data());
+            }
+        }
+    }
+}
+
+void
+CommandQueue::recordTransfer(size_t bytes, bool hostToDevice)
+{
+    transfers_.push_back({bytes, hostToDevice});
+}
+
+size_t
+CommandQueue::totalTransferBytes() const
+{
+    size_t total = 0;
+    for (const auto &t : transfers_)
+        total += t.bytes;
+    return total;
+}
+
+void
+CommandQueue::reset()
+{
+    launches_.clear();
+    transfers_.clear();
+}
+
+} // namespace dlis::oclsim

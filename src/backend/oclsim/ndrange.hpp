@@ -1,0 +1,123 @@
+/**
+ * @file
+ * A software OpenCL-style NDRange execution engine.
+ *
+ * The paper's GPU experiments run OpenCL 1.1 kernels on a Mali-T628.
+ * This host has no GPU, so we execute the same kernel *logic* in
+ * software: kernels are C++ functors invoked per work-item (or per
+ * work-group for kernels that use local memory and barriers — such
+ * kernels iterate their own work-items in barrier-delimited phases,
+ * which is semantically equivalent for barrier-synchronised code).
+ *
+ * The engine records what a real command queue would observe — kernel
+ * launches, work-item counts, buffer transfers — and the hardware cost
+ * model (src/hw) converts those observations into simulated Mali
+ * timings. Functional results are bit-checked against the serial CPU
+ * backend in the tests.
+ */
+
+#ifndef DLIS_BACKEND_OCLSIM_NDRANGE_HPP
+#define DLIS_BACKEND_OCLSIM_NDRANGE_HPP
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dlis::oclsim {
+
+/** Identity of one work-item inside an NDRange. */
+struct WorkItem
+{
+    std::array<size_t, 3> global{0, 0, 0}; //!< global id per dimension
+    std::array<size_t, 3> local{0, 0, 0};  //!< id within the work-group
+    std::array<size_t, 3> group{0, 0, 0};  //!< work-group id
+};
+
+/** Identity of one work-group. */
+struct WorkGroup
+{
+    std::array<size_t, 3> id{0, 0, 0};   //!< group id per dimension
+    std::array<size_t, 3> size{1, 1, 1}; //!< local size per dimension
+};
+
+/** Launch geometry: global and local (work-group) sizes. */
+struct NDRange
+{
+    std::array<size_t, 3> global{1, 1, 1};
+    std::array<size_t, 3> local{1, 1, 1};
+
+    /** Total work-items. */
+    size_t totalItems() const;
+
+    /** Total work-groups (global must divide by local). */
+    size_t totalGroups() const;
+};
+
+/** What one enqueued kernel launch looked like. */
+struct LaunchRecord
+{
+    size_t workItems = 0;
+    size_t workGroups = 0;
+    size_t localMemBytes = 0;
+};
+
+/** Host<->device buffer transfer record. */
+struct TransferRecord
+{
+    size_t bytes = 0;
+    bool hostToDevice = true;
+};
+
+/**
+ * A simulated in-order command queue.
+ *
+ * Executes kernels immediately on the host and logs launch/transfer
+ * records for the cost model.
+ */
+class CommandQueue
+{
+  public:
+    /**
+     * Enqueue a per-work-item kernel. The functor is called once per
+     * work-item; no barriers are available in this form.
+     */
+    void enqueue(const NDRange &range,
+                 const std::function<void(const WorkItem &)> &kernel);
+
+    /**
+     * Enqueue a per-work-group kernel. The functor receives the group
+     * identity and a local-memory scratch area; it iterates its own
+     * work-items, which lets it express barrier-phased algorithms.
+     */
+    void enqueueGroups(
+        const NDRange &range, size_t localMemBytes,
+        const std::function<void(const WorkGroup &, float *)> &kernel);
+
+    /** Record an explicit host<->device buffer copy. */
+    void recordTransfer(size_t bytes, bool hostToDevice);
+
+    /** All kernel launches since the last reset. */
+    const std::vector<LaunchRecord> &launches() const { return launches_; }
+
+    /** All buffer transfers since the last reset. */
+    const std::vector<TransferRecord> &
+    transfers() const
+    {
+        return transfers_;
+    }
+
+    /** Total bytes moved host<->device. */
+    size_t totalTransferBytes() const;
+
+    /** Forget all records. */
+    void reset();
+
+  private:
+    std::vector<LaunchRecord> launches_;
+    std::vector<TransferRecord> transfers_;
+};
+
+} // namespace dlis::oclsim
+
+#endif // DLIS_BACKEND_OCLSIM_NDRANGE_HPP

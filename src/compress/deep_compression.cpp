@@ -1,0 +1,56 @@
+#include "compress/deep_compression.hpp"
+
+#include <algorithm>
+
+#include "compress/huffman.hpp"
+
+namespace dlis {
+
+DeepCompression::DeepCompression(DeepCompressionConfig config)
+    : config_(config)
+{
+    DLIS_CHECK(config_.initialSparsity > 0.0 &&
+               config_.initialSparsity < 1.0 &&
+               config_.targetSparsity < 1.0 &&
+               config_.sparsityStep > 0.0,
+               "bad Deep Compression schedule");
+}
+
+std::vector<CompressionRound>
+DeepCompression::run(Model &model, Trainer &trainer)
+{
+    std::vector<CompressionRound> rounds;
+
+    for (double sparsity = config_.initialSparsity;
+         sparsity <= config_.targetSparsity + 1e-9;
+         sparsity += config_.sparsityStep) {
+        const double target = std::min(sparsity, config_.targetSparsity);
+        pruner_.pruneToSparsity(model, target);
+
+        trainer.setPostStepHook([&] { pruner_.applyMasks(model); });
+        const EpochStats stats = trainer.trainSteps(
+            config_.fineTuneSteps, config_.fineTuneLrScale);
+        trainer.setPostStepHook(nullptr);
+
+        rounds.push_back(
+            {model.weightSparsity(), stats.loss, stats.accuracy});
+        if (target >= config_.targetSparsity)
+            break;
+    }
+    return rounds;
+}
+
+size_t
+DeepCompression::storageBytes(const Model &model) const
+{
+    size_t bytes = 0;
+    for (const Conv2d *c : model.convs)
+        bytes += deepCompressionStorageBytes(c->weight(),
+                                             config_.huffmanLevels);
+    for (const Linear *l : model.linears)
+        bytes += deepCompressionStorageBytes(l->weight(),
+                                             config_.huffmanLevels);
+    return bytes;
+}
+
+} // namespace dlis

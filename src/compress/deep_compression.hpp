@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The Deep Compression pipeline driver (paper §V-B1): "we set the
+ * initial threshold such that 50% of weights (those with the lowest
+ * magnitude) are zeroed out. After fine-tuning the network for 30
+ * epochs ... we increase the threshold and repeat to achieve greater
+ * sparsity", ending with weight-sharing + Huffman storage.
+ */
+
+#ifndef DLIS_COMPRESS_DEEP_COMPRESSION_HPP
+#define DLIS_COMPRESS_DEEP_COMPRESSION_HPP
+
+#include <vector>
+
+#include "compress/magnitude_pruner.hpp"
+#include "train/trainer.hpp"
+
+namespace dlis {
+
+/** Pipeline schedule. */
+struct DeepCompressionConfig
+{
+    double initialSparsity = 0.5;  //!< first pruning round (§V-B1)
+    double targetSparsity = 0.9;   //!< final sparsity
+    double sparsityStep = 0.1;     //!< threshold increase per round
+    size_t fineTuneSteps = 30;     //!< optimiser steps per round
+    double fineTuneLrScale = 0.1;  //!< lr scale during fine-tuning
+    size_t huffmanLevels = 32;     //!< weight-sharing codebook size
+};
+
+/** One pruning round's outcome. */
+struct CompressionRound
+{
+    double sparsity = 0.0;     //!< sparsity after the round
+    double trainLoss = 0.0;    //!< fine-tune loss at round end
+    double trainAccuracy = 0.0;
+};
+
+/** Iterative prune-and-retrain with Huffman storage accounting. */
+class DeepCompression
+{
+  public:
+    explicit DeepCompression(DeepCompressionConfig config = {});
+
+    /**
+     * Run the full schedule on @p model, fine-tuning with @p trainer
+     * between rounds (masks are re-applied after every step).
+     *
+     * @returns one entry per pruning round.
+     */
+    std::vector<CompressionRound> run(Model &model, Trainer &trainer);
+
+    /**
+     * Shipped-model bytes after prune -> weight-share -> Huffman, for
+     * every prunable tensor of @p model.
+     */
+    size_t storageBytes(const Model &model) const;
+
+    /** The pruner (exposes masks for further fine-tuning). */
+    MagnitudePruner &pruner() { return pruner_; }
+
+  private:
+    DeepCompressionConfig config_;
+    MagnitudePruner pruner_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_DEEP_COMPRESSION_HPP

@@ -1,0 +1,136 @@
+#include "compress/fisher_pruner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "nn/shape_walk.hpp"
+
+namespace dlis {
+
+FisherPruner::FisherPruner(Model &model, Shape inputShape,
+                           FisherConfig config)
+    : model_(model), inputShape_(std::move(inputShape)), config_(config),
+      originalParams_(model.net.parameterCount())
+{
+    DLIS_CHECK(!model_.pruneUnits.empty(),
+               "model exposes no prunable units");
+    for (PruneUnit &unit : model_.pruneUnits)
+        unit.probe->enableFisherProbe(unit.producer->cout());
+}
+
+FisherPruner::~FisherPruner()
+{
+    for (PruneUnit &unit : model_.pruneUnits)
+        unit.probe->disableFisherProbe();
+}
+
+double
+FisherPruner::channelFlops(const PruneUnit &unit) const
+{
+    const auto shapes = collectInputShapes(model_.net, inputShape_);
+
+    auto macs_of = [&](Layer *layer) -> double {
+        auto it = shapes.find(layer);
+        DLIS_CHECK(it != shapes.end(), "layer '", layer->name(),
+                   "' not found in shape walk");
+        return static_cast<double>(layer->cost(it->second).denseMacs);
+    };
+
+    // Producer: MACs per output channel. Consumers: MACs per input
+    // channel. A MAC is two FLOPs but the constant cancels in ranking;
+    // we report MACs-as-FLOPs consistently with beta's calibration.
+    double flops =
+        macs_of(unit.producer) /
+        static_cast<double>(unit.producer->cout());
+    if (unit.coupledDw) {
+        flops += macs_of(unit.coupledDw) /
+                 static_cast<double>(unit.coupledDw->channels());
+    }
+    if (unit.consumerConv) {
+        flops += macs_of(unit.consumerConv) /
+                 static_cast<double>(unit.consumerConv->cin());
+    }
+    if (unit.consumerLinear) {
+        const size_t channels = unit.consumerLinear->inFeatures() /
+                                unit.consumerSpatial;
+        flops += macs_of(unit.consumerLinear) /
+                 static_cast<double>(channels);
+    }
+    return flops;
+}
+
+bool
+FisherPruner::pruneOneChannel()
+{
+    PruneUnit *best_unit = nullptr;
+    size_t best_channel = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+
+    for (PruneUnit &unit : model_.pruneUnits) {
+        if (unit.producer->cout() <= config_.minChannels)
+            continue;
+        const auto &fisher = unit.probe->fisherInfo();
+        DLIS_ASSERT(fisher.size() == unit.producer->cout(),
+                    "fisher probe out of sync in '", unit.name, "'");
+        const double penalty = config_.flopPenalty * channelFlops(unit);
+        for (size_t ch = 0; ch < fisher.size(); ++ch) {
+            const double score = fisher[ch] + penalty;
+            if (score < best_score) {
+                best_score = score;
+                best_unit = &unit;
+                best_channel = ch;
+            }
+        }
+    }
+    if (!best_unit)
+        return false;
+
+    // Physically remove the channel everywhere it is referenced.
+    std::vector<size_t> keep;
+    keep.reserve(best_unit->producer->cout() - 1);
+    for (size_t ch = 0; ch < best_unit->producer->cout(); ++ch)
+        if (ch != best_channel)
+            keep.push_back(ch);
+
+    best_unit->producer->keepOutputChannels(keep);
+    if (best_unit->bn)
+        best_unit->bn->keepChannels(keep);
+    if (best_unit->coupledDw)
+        best_unit->coupledDw->keepChannels(keep);
+    if (best_unit->coupledDwBn)
+        best_unit->coupledDwBn->keepChannels(keep);
+    if (best_unit->consumerConv)
+        best_unit->consumerConv->keepInputChannels(keep);
+    if (best_unit->consumerLinear) {
+        best_unit->consumerLinear->keepInputChannels(
+            keep, best_unit->consumerSpatial);
+    }
+    best_unit->probe->enableFisherProbe(keep.size());
+    return true;
+}
+
+void
+FisherPruner::run(Trainer &trainer, size_t channels)
+{
+    for (size_t i = 0; i < channels; ++i) {
+        for (PruneUnit &unit : model_.pruneUnits)
+            unit.probe->resetFisherInfo();
+        trainer.trainSteps(config_.stepsBetweenPrunes,
+                           config_.fineTuneLrScale);
+        if (!pruneOneChannel())
+            break;
+        // Surgery replaced parameter tensors; rebuild optimiser state.
+        trainer.resetOptimizer();
+    }
+}
+
+double
+FisherPruner::compressionRate()
+{
+    const size_t now = model_.net.parameterCount();
+    return 1.0 - static_cast<double>(now) /
+                     static_cast<double>(originalParams_);
+}
+
+} // namespace dlis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fisher channel pruning (Theis et al. 2018, Molchanov et al. 2017;
+ * paper §III-B, §V-B2).
+ *
+ * Channel importance is the accumulated Fisher information at the ReLU
+ * following each prunable convolution — the squared per-image spatial
+ * sum of activation x gradient — a second-order Taylor approximation
+ * of the loss change from removing the channel. A penalty proportional
+ * to the channel's FLOP count (coefficient beta = 1e-6 in the paper)
+ * biases removal toward expensive channels. Pruning is physical: the
+ * producing conv, its batch norm, any coupled depthwise filters, and
+ * the consumers' input slices are all re-cast into a smaller dense
+ * network (the property that makes channel pruning the hardware
+ * winner in Figs 4 and 5).
+ */
+
+#ifndef DLIS_COMPRESS_FISHER_PRUNER_HPP
+#define DLIS_COMPRESS_FISHER_PRUNER_HPP
+
+#include <vector>
+
+#include "nn/models/model.hpp"
+#include "train/trainer.hpp"
+
+namespace dlis {
+
+/** Fisher pruning hyper-parameters. */
+struct FisherConfig
+{
+    double flopPenalty = 1e-6;     //!< beta in the paper (§V-B2)
+    size_t stepsBetweenPrunes = 100; //!< fine-tune steps per removal
+    double fineTuneLrScale = 0.08; //!< lr scale vs the base schedule
+    size_t minChannels = 2;        //!< never prune a unit below this
+};
+
+/** Drives iterative fine-tune-and-prune over a model's PruneUnits. */
+class FisherPruner
+{
+  public:
+    /**
+     * @param model      the model to prune (not owned)
+     * @param inputShape a representative input (for FLOP accounting)
+     * @param config     hyper-parameters
+     */
+    FisherPruner(Model &model, Shape inputShape, FisherConfig config);
+
+    ~FisherPruner();
+
+    FisherPruner(const FisherPruner &) = delete;
+    FisherPruner &operator=(const FisherPruner &) = delete;
+
+    /**
+     * Remove @p channels channels: between removals, run
+     * config.stepsBetweenPrunes fine-tuning steps on @p trainer (which
+     * must be bound to the same model's network).
+     */
+    void run(Trainer &trainer, size_t channels);
+
+    /**
+     * Remove the single channel with the lowest
+     * fisher + beta * flops score across all units.
+     * @returns false when no unit can be pruned further.
+     */
+    bool pruneOneChannel();
+
+    /** Parameters removed so far as a fraction of the original. */
+    double compressionRate();
+
+    /** Original (pre-pruning) parameter count. */
+    size_t originalParams() const { return originalParams_; }
+
+  private:
+    /** FLOPs attributable to one channel of a unit. */
+    double channelFlops(const PruneUnit &unit) const;
+
+    Model &model_;
+    Shape inputShape_;
+    FisherConfig config_;
+    size_t originalParams_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_FISHER_PRUNER_HPP

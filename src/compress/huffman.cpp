@@ -1,0 +1,191 @@
+#include "compress/huffman.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+namespace {
+
+/** Build canonical code lengths from a symbol histogram. */
+std::map<uint32_t, uint8_t>
+codeLengths(const std::map<uint32_t, size_t> &histogram)
+{
+    // Classic two-queue Huffman over (count, node) pairs.
+    struct Node
+    {
+        size_t count;
+        std::vector<uint32_t> symbols;
+    };
+    auto cmp = [](const Node &a, const Node &b) {
+        return a.count > b.count;
+    };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(
+        cmp);
+    for (const auto &[sym, count] : histogram)
+        heap.push({count, {sym}});
+
+    std::map<uint32_t, uint8_t> lengths;
+    if (heap.size() == 1) {
+        lengths[heap.top().symbols[0]] = 1;
+        return lengths;
+    }
+    while (heap.size() > 1) {
+        Node a = heap.top();
+        heap.pop();
+        Node b = heap.top();
+        heap.pop();
+        for (uint32_t s : a.symbols)
+            ++lengths[s]; // deepen every leaf under the merge
+        for (uint32_t s : b.symbols)
+            ++lengths[s];
+        Node merged{a.count + b.count, std::move(a.symbols)};
+        merged.symbols.insert(merged.symbols.end(), b.symbols.begin(),
+                              b.symbols.end());
+        heap.push(std::move(merged));
+    }
+    return lengths;
+}
+
+} // namespace
+
+HuffmanStream
+HuffmanStream::encode(const std::vector<uint32_t> &symbols)
+{
+    DLIS_CHECK(!symbols.empty(), "cannot encode an empty stream");
+
+    std::map<uint32_t, size_t> histogram;
+    for (uint32_t s : symbols)
+        ++histogram[s];
+
+    const auto lengths = codeLengths(histogram);
+
+    // Canonical code assignment: sort by (length, symbol).
+    std::vector<std::pair<uint8_t, uint32_t>> order;
+    order.reserve(lengths.size());
+    for (const auto &[sym, len] : lengths)
+        order.emplace_back(len, sym);
+    std::sort(order.begin(), order.end());
+
+    HuffmanStream out;
+    uint32_t code = 0;
+    uint8_t prev_len = order.empty() ? 0 : order.front().first;
+    for (const auto &[len, sym] : order) {
+        code <<= (len - prev_len);
+        out.table_[sym] = {code, len};
+        ++code;
+        prev_len = len;
+    }
+
+    // Emit the bit stream, MSB first.
+    out.count_ = symbols.size();
+    for (uint32_t s : symbols) {
+        const Code &c = out.table_.at(s);
+        for (int bit = c.length - 1; bit >= 0; --bit) {
+            const size_t pos = out.bitLength_++;
+            if (pos / 8 >= out.payload_.size())
+                out.payload_.push_back(0);
+            if ((c.bits >> bit) & 1)
+                out.payload_[pos / 8] |=
+                    static_cast<uint8_t>(1 << (7 - pos % 8));
+        }
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+HuffmanStream::decode() const
+{
+    // Build a (bits, length) -> symbol reverse map.
+    std::map<std::pair<uint32_t, uint8_t>, uint32_t> reverse;
+    for (const auto &[sym, code] : table_)
+        reverse[{code.bits, code.length}] = sym;
+
+    std::vector<uint32_t> out;
+    out.reserve(count_);
+    uint32_t acc = 0;
+    uint8_t acc_len = 0;
+    for (size_t pos = 0; pos < bitLength_ && out.size() < count_;
+         ++pos) {
+        const int bit =
+            (payload_[pos / 8] >> (7 - pos % 8)) & 1;
+        acc = (acc << 1) | static_cast<uint32_t>(bit);
+        ++acc_len;
+        auto it = reverse.find({acc, acc_len});
+        if (it != reverse.end()) {
+            out.push_back(it->second);
+            acc = 0;
+            acc_len = 0;
+        }
+    }
+    DLIS_ASSERT(out.size() == count_, "Huffman stream truncated: got ",
+                out.size(), " of ", count_, " symbols");
+    return out;
+}
+
+size_t
+HuffmanStream::payloadBytes() const
+{
+    return (bitLength_ + 7) / 8;
+}
+
+size_t
+HuffmanStream::tableBytes() const
+{
+    // symbol id (4 B) + code length (1 B) per entry; canonical codes
+    // are reconstructible from lengths alone.
+    return table_.size() * 5;
+}
+
+size_t
+HuffmanStream::totalBytes() const
+{
+    return payloadBytes() + tableBytes();
+}
+
+double
+HuffmanStream::bitsPerSymbol() const
+{
+    return count_ ? static_cast<double>(bitLength_) /
+                        static_cast<double>(count_)
+                  : 0.0;
+}
+
+std::vector<uint32_t>
+bucketWeights(const Tensor &weights, size_t levels)
+{
+    DLIS_CHECK(levels >= 2, "need at least 2 bucket levels");
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < weights.numel(); ++i)
+        max_abs = std::max(max_abs, std::fabs(weights[i]));
+
+    std::vector<uint32_t> symbols(weights.numel());
+    if (max_abs == 0.0f)
+        return symbols; // all zero -> symbol 0
+    for (size_t i = 0; i < weights.numel(); ++i) {
+        const float v = weights[i];
+        if (v == 0.0f) {
+            symbols[i] = 0; // pruned weights share the zero symbol
+            continue;
+        }
+        const double unit = (v / max_abs + 1.0) / 2.0; // [0, 1]
+        const auto bucket = static_cast<uint32_t>(std::min(
+            static_cast<double>(levels - 1),
+            std::floor(unit * static_cast<double>(levels))));
+        symbols[i] = bucket + 1; // 0 is reserved for exact zero
+    }
+    return symbols;
+}
+
+size_t
+deepCompressionStorageBytes(const Tensor &weights, size_t levels)
+{
+    const auto symbols = bucketWeights(weights, levels);
+    const HuffmanStream stream = HuffmanStream::encode(symbols);
+    return stream.totalBytes() + levels * sizeof(float);
+}
+
+} // namespace dlis

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Huffman coding of weight streams — the third stage of Deep
+ * Compression (Han et al., cited as the paper's weight-pruning method,
+ * §III-A: "a three stage method for storing the network involving
+ * pruning, quantisation, and Huffman coding").
+ *
+ * Weights are bucketed into discrete symbols (quantised weights are
+ * already discrete; pruned float weights are bucketed by a quantiser
+ * grid), a canonical Huffman code is built from the symbol histogram,
+ * and the encoded bit length gives the *storage* footprint of the
+ * shipped model. Decoding restores the symbol stream exactly.
+ */
+
+#ifndef DLIS_COMPRESS_HUFFMAN_HPP
+#define DLIS_COMPRESS_HUFFMAN_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace dlis {
+
+/** A Huffman-encoded symbol stream. */
+class HuffmanStream
+{
+  public:
+    /**
+     * Encode a stream of discrete symbols.
+     *
+     * @param symbols the symbol id of each element
+     */
+    static HuffmanStream encode(const std::vector<uint32_t> &symbols);
+
+    /** Decode back to the exact original symbol stream. */
+    std::vector<uint32_t> decode() const;
+
+    /** Encoded payload size in bytes (bits rounded up). */
+    size_t payloadBytes() const;
+
+    /** Code-table size in bytes (symbol + length per entry). */
+    size_t tableBytes() const;
+
+    /** payloadBytes() + tableBytes(). */
+    size_t totalBytes() const;
+
+    /** Number of encoded symbols. */
+    size_t symbolCount() const { return count_; }
+
+    /** Mean code length in bits (the entropy-rate achieved). */
+    double bitsPerSymbol() const;
+
+  private:
+    struct Code
+    {
+        uint32_t bits = 0; //!< code value, MSB-first in 'length' bits
+        uint8_t length = 0;
+    };
+
+    std::map<uint32_t, Code> table_;
+    std::vector<uint8_t> payload_;
+    size_t bitLength_ = 0;
+    size_t count_ = 0;
+};
+
+/**
+ * Bucket float weights onto a uniform grid of @p levels between
+ * [-maxAbs, +maxAbs] (zero maps to its own symbol), returning symbol
+ * ids usable with HuffmanStream. This mirrors Deep Compression's
+ * weight-sharing stage.
+ */
+std::vector<uint32_t> bucketWeights(const Tensor &weights,
+                                    size_t levels);
+
+/**
+ * Shipped-model size of a weight tensor under
+ * prune -> bucket -> Huffman, in bytes (payload + table + one float
+ * per level for the codebook).
+ */
+size_t deepCompressionStorageBytes(const Tensor &weights,
+                                   size_t levels = 32);
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_HUFFMAN_HPP

@@ -1,0 +1,135 @@
+#include "compress/magnitude_pruner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlis {
+
+std::vector<Tensor *>
+MagnitudePruner::prunableTensors(Model &model)
+{
+    std::vector<Tensor *> out;
+    for (Conv2d *c : model.convs) {
+        DLIS_CHECK(c->format() == WeightFormat::Dense,
+                   "pruning requires dense weights in '", c->name(),
+                   "'");
+        out.push_back(&c->weight());
+    }
+    for (Linear *l : model.linears) {
+        DLIS_CHECK(l->format() == WeightFormat::Dense,
+                   "pruning requires dense weights in '", l->name(),
+                   "'");
+        out.push_back(&l->weight());
+    }
+    return out;
+}
+
+void
+MagnitudePruner::maskTensorToSparsity(Tensor &w, double sparsity)
+{
+    const size_t n = w.numel();
+    const auto drop = static_cast<size_t>(
+        std::floor(sparsity * static_cast<double>(n)));
+
+    std::vector<uint8_t> mask(n, 1);
+    if (drop > 0) {
+        // Find the drop-th smallest magnitude, then zero everything at
+        // or below it (ties broken by order to hit the count exactly).
+        std::vector<float> mags(n);
+        for (size_t i = 0; i < n; ++i)
+            mags[i] = std::fabs(w[i]);
+        std::vector<float> sorted = mags;
+        std::nth_element(sorted.begin(), sorted.begin() + (drop - 1),
+                         sorted.end());
+        const float cut = sorted[drop - 1];
+
+        size_t zeroed = 0;
+        for (size_t i = 0; i < n && zeroed < drop; ++i) {
+            if (mags[i] < cut) {
+                mask[i] = 0;
+                ++zeroed;
+            }
+        }
+        for (size_t i = 0; i < n && zeroed < drop; ++i) {
+            if (mask[i] && mags[i] == cut) {
+                mask[i] = 0;
+                ++zeroed;
+            }
+        }
+        for (size_t i = 0; i < n; ++i)
+            if (!mask[i])
+                w[i] = 0.0f;
+    }
+    masks_[&w] = std::move(mask);
+}
+
+void
+MagnitudePruner::maskTensorByThreshold(Tensor &w, float threshold)
+{
+    std::vector<uint8_t> mask(w.numel(), 1);
+    for (size_t i = 0; i < w.numel(); ++i) {
+        if (std::fabs(w[i]) < threshold) {
+            mask[i] = 0;
+            w[i] = 0.0f;
+        }
+    }
+    masks_[&w] = std::move(mask);
+}
+
+void
+MagnitudePruner::pruneToSparsity(Model &model, double sparsity)
+{
+    DLIS_CHECK(sparsity >= 0.0 && sparsity < 1.0,
+               "sparsity must be in [0, 1), got ", sparsity);
+    for (Tensor *w : prunableTensors(model))
+        maskTensorToSparsity(*w, sparsity);
+}
+
+double
+MagnitudePruner::pruneByStd(Model &model, double qualityFactor)
+{
+    DLIS_CHECK(qualityFactor >= 0.0, "quality factor must be >= 0");
+    size_t zeros = 0, total = 0;
+    for (Tensor *w : prunableTensors(model)) {
+        // Per-layer threshold from the layer's weight deviation [10].
+        double sum = 0.0, sq = 0.0;
+        for (size_t i = 0; i < w->numel(); ++i) {
+            sum += (*w)[i];
+            sq += static_cast<double>((*w)[i]) * (*w)[i];
+        }
+        const double mean = sum / static_cast<double>(w->numel());
+        const double var =
+            sq / static_cast<double>(w->numel()) - mean * mean;
+        const float cut = static_cast<float>(
+            qualityFactor * std::sqrt(std::max(var, 0.0)));
+        maskTensorByThreshold(*w, cut);
+        zeros += w->countZeros();
+        total += w->numel();
+    }
+    return total ? static_cast<double>(zeros) / total : 0.0;
+}
+
+void
+MagnitudePruner::applyMasks(Model &model) const
+{
+    for (Conv2d *c : model.convs) {
+        auto it = masks_.find(&c->weight());
+        if (it == masks_.end())
+            continue;
+        Tensor &w = c->weight();
+        for (size_t i = 0; i < w.numel(); ++i)
+            if (!it->second[i])
+                w[i] = 0.0f;
+    }
+    for (Linear *l : model.linears) {
+        auto it = masks_.find(&l->weight());
+        if (it == masks_.end())
+            continue;
+        Tensor &w = l->weight();
+        for (size_t i = 0; i < w.numel(); ++i)
+            if (!it->second[i])
+                w[i] = 0.0f;
+    }
+}
+
+} // namespace dlis

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deep-Compression-style magnitude weight pruning (Han et al.;
+ * paper §III-A, §V-B1).
+ *
+ * The paper's recipe: zero the lowest-magnitude weights layer-by-layer
+ * (initially 50 %), fine-tune for ~30 epochs, raise the threshold and
+ * repeat. The pruner keeps per-tensor binary masks so fine-tuning can
+ * re-zero pruned weights after every optimiser step (the post-step
+ * hook of train/trainer.hpp).
+ *
+ * Two threshold rules are provided:
+ *  - pruneToSparsity: exact per-layer percentile (used when a target
+ *    sparsity from the paper's tables must be hit exactly);
+ *  - pruneByStd: threshold = q * stddev(layer), the rule of [10].
+ */
+
+#ifndef DLIS_COMPRESS_MAGNITUDE_PRUNER_HPP
+#define DLIS_COMPRESS_MAGNITUDE_PRUNER_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nn/models/model.hpp"
+
+namespace dlis {
+
+/** Magnitude pruner with persistent masks. */
+class MagnitudePruner
+{
+  public:
+    MagnitudePruner() = default;
+
+    /**
+     * Zero the lowest-|w| fraction of each prunable tensor (conv and
+     * linear weights; dense format required) and record masks.
+     */
+    void pruneToSparsity(Model &model, double sparsity);
+
+    /**
+     * Zero weights with |w| < q * stddev per tensor and record masks.
+     * Returns the resulting overall sparsity.
+     */
+    double pruneByStd(Model &model, double qualityFactor);
+
+    /** Re-apply the recorded masks (post-optimiser-step hook). */
+    void applyMasks(Model &model) const;
+
+    /** True once any mask has been recorded. */
+    bool hasMasks() const { return !masks_.empty(); }
+
+    /** Forget all masks. */
+    void reset() { masks_.clear(); }
+
+  private:
+    static std::vector<Tensor *> prunableTensors(Model &model);
+
+    void maskTensorToSparsity(Tensor &w, double sparsity);
+    void maskTensorByThreshold(Tensor &w, float threshold);
+
+    /** Mask per tensor: 1 keeps the weight, 0 forces it to zero. */
+    std::map<const Tensor *, std::vector<uint8_t>> masks_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_MAGNITUDE_PRUNER_HPP

@@ -1,0 +1,63 @@
+#include "compress/random_pruner.hpp"
+
+namespace dlis {
+
+RandomPruner::RandomPruner(Model &model, uint64_t seed)
+    : model_(model), rng_(seed),
+      originalParams_(model.net.parameterCount())
+{
+    DLIS_CHECK(!model_.pruneUnits.empty(),
+               "model exposes no prunable units");
+}
+
+size_t
+RandomPruner::removeChannels(size_t channels, size_t minChannels)
+{
+    size_t removed = 0;
+    for (size_t i = 0; i < channels; ++i) {
+        // Collect units that can still lose a channel.
+        std::vector<PruneUnit *> eligible;
+        for (PruneUnit &u : model_.pruneUnits)
+            if (u.producer->cout() > minChannels)
+                eligible.push_back(&u);
+        if (eligible.empty())
+            break;
+
+        PruneUnit &unit =
+            *eligible[rng_.uniformInt(eligible.size())];
+        const size_t victim =
+            rng_.uniformInt(unit.producer->cout());
+
+        std::vector<size_t> keep;
+        keep.reserve(unit.producer->cout() - 1);
+        for (size_t ch = 0; ch < unit.producer->cout(); ++ch)
+            if (ch != victim)
+                keep.push_back(ch);
+
+        unit.producer->keepOutputChannels(keep);
+        if (unit.bn)
+            unit.bn->keepChannels(keep);
+        if (unit.coupledDw)
+            unit.coupledDw->keepChannels(keep);
+        if (unit.coupledDwBn)
+            unit.coupledDwBn->keepChannels(keep);
+        if (unit.consumerConv)
+            unit.consumerConv->keepInputChannels(keep);
+        if (unit.consumerLinear)
+            unit.consumerLinear->keepInputChannels(
+                keep, unit.consumerSpatial);
+        if (unit.probe->fisherInfo().size() > 0)
+            unit.probe->enableFisherProbe(keep.size());
+        ++removed;
+    }
+    return removed;
+}
+
+double
+RandomPruner::compressionRate()
+{
+    return 1.0 - static_cast<double>(model_.net.parameterCount()) /
+                     static_cast<double>(originalParams_);
+}
+
+} // namespace dlis

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Random channel pruning — the surprising baseline the paper cites
+ * (§III-B, [35]): "random pruning is also an effective strategy for
+ * removing filters". Used as the control against Fisher pruning in
+ * tests and the ablation bench: same surgery machinery, channels
+ * chosen uniformly at random instead of by saliency.
+ */
+
+#ifndef DLIS_COMPRESS_RANDOM_PRUNER_HPP
+#define DLIS_COMPRESS_RANDOM_PRUNER_HPP
+
+#include "core/rng.hpp"
+#include "nn/models/model.hpp"
+
+namespace dlis {
+
+/** Uniform-random channel remover over a model's PruneUnits. */
+class RandomPruner
+{
+  public:
+    /**
+     * @param model the model to prune (not owned)
+     * @param seed  RNG seed for channel selection
+     */
+    RandomPruner(Model &model, uint64_t seed);
+
+    /**
+     * Remove @p channels channels, each chosen uniformly from the
+     * channels of a uniformly-chosen prunable unit (units at the
+     * minimum width are skipped).
+     *
+     * @returns the number actually removed.
+     */
+    size_t removeChannels(size_t channels, size_t minChannels = 2);
+
+    /** Parameters removed so far as a fraction of the original. */
+    double compressionRate();
+
+  private:
+    Model &model_;
+    Rng rng_;
+    size_t originalParams_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_RANDOM_PRUNER_HPP

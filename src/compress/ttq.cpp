@@ -1,0 +1,181 @@
+#include "compress/ttq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlis {
+
+TtqQuantizer::TtqQuantizer(double threshold)
+    : threshold_(threshold)
+{
+    DLIS_CHECK(threshold >= 0.0 && threshold <= 1.0,
+               "TTQ threshold must be in [0, 1], got ", threshold);
+}
+
+std::vector<Tensor *>
+TtqQuantizer::quantisableTensors(Model &model)
+{
+    std::vector<Tensor *> out;
+    for (Conv2d *c : model.convs) {
+        DLIS_CHECK(c->format() == WeightFormat::Dense,
+                   "quantisation requires dense weights in '",
+                   c->name(), "'");
+        out.push_back(&c->weight());
+    }
+    for (Linear *l : model.linears) {
+        DLIS_CHECK(l->format() == WeightFormat::Dense,
+                   "quantisation requires dense weights in '",
+                   l->name(), "'");
+        out.push_back(&l->weight());
+    }
+    return out;
+}
+
+void
+TtqQuantizer::quantiseTensor(Tensor &w)
+{
+    TernaryWeights t = TernaryWeights::quantise(w, threshold_);
+    // Keep previously learned scales sticky across re-projections so
+    // the scale-learning step (updateScales) is not undone.
+    auto it = scales_.find(&w);
+    if (it != scales_.end())
+        t.setScales(it->second.first, it->second.second);
+    else
+        scales_[&w] = {t.wp(), t.wn()};
+    const Tensor q = t.toDense();
+    std::copy(q.data(), q.data() + q.numel(), w.data());
+}
+
+void
+TtqQuantizer::updateScales(Model &model, double lr)
+{
+    auto update = [&](Tensor &w, const Tensor &grad) {
+        auto it = scales_.find(&w);
+        if (it == scales_.end())
+            return;
+        auto &[wp, wn] = it->second;
+        // dL/dWp = sum of dL/dw over +Wp positions; for -Wn positions
+        // the chain rule flips the sign (w = -Wn).
+        double g_wp = 0.0, g_wn = 0.0;
+        for (size_t i = 0; i < w.numel(); ++i) {
+            if (w[i] > 0.0f)
+                g_wp += grad[i];
+            else if (w[i] < 0.0f)
+                g_wn -= grad[i];
+        }
+        wp = std::max(0.0f, wp - static_cast<float>(lr * g_wp));
+        wn = std::max(0.0f, wn - static_cast<float>(lr * g_wn));
+        // Re-render the quantised weights with the new scales.
+        for (size_t i = 0; i < w.numel(); ++i) {
+            if (w[i] > 0.0f)
+                w[i] = wp;
+            else if (w[i] < 0.0f)
+                w[i] = -wn;
+        }
+    };
+    for (Conv2d *c : model.convs) {
+        auto grads = c->gradients();
+        update(c->weight(), *grads[0]);
+    }
+    for (Linear *l : model.linears) {
+        auto grads = l->gradients();
+        update(l->weight(), *grads[0]);
+    }
+}
+
+std::pair<float, float>
+TtqQuantizer::scalesFor(const Tensor *weights) const
+{
+    auto it = scales_.find(weights);
+    DLIS_CHECK(it != scales_.end(),
+               "tensor was not quantised by this quantizer");
+    return it->second;
+}
+
+void
+TtqQuantizer::quantise(Model &model)
+{
+    for (Tensor *w : quantisableTensors(model)) {
+        shadow_.emplace(w, *w);
+        quantiseTensor(*w);
+    }
+}
+
+void
+TtqQuantizer::requantise(Model &model)
+{
+    for (Tensor *w : quantisableTensors(model)) {
+        auto it = shadow_.find(w);
+        if (it == shadow_.end())
+            continue;
+        Tensor &shadow = it->second;
+        // Straight-through: the optimiser stepped the *quantised*
+        // values; apply the same delta to the shadow weights. The
+        // previous quantised state is recoverable by re-projecting the
+        // shadow, so the delta is w_now - quantise(shadow).
+        Tensor prev_q = shadow;
+        {
+            const TernaryWeights t =
+                TernaryWeights::quantise(shadow, threshold_);
+            prev_q = t.toDense();
+        }
+        for (size_t i = 0; i < shadow.numel(); ++i)
+            shadow[i] += (*w)[i] - prev_q[i];
+        *w = shadow;
+        quantiseTensor(*w);
+    }
+}
+
+double
+TtqQuantizer::sparsity(const Model &model) const
+{
+    return model.weightSparsity();
+}
+
+void
+TtqQuantizer::quantiseToSparsity(Model &model, double sparsity)
+{
+    DLIS_CHECK(sparsity >= 0.0 && sparsity < 1.0,
+               "sparsity must be in [0, 1), got ", sparsity);
+    for (Tensor *w : quantisableTensors(model)) {
+        const size_t n = w->numel();
+        const auto zeroed = static_cast<size_t>(
+            std::floor(sparsity * static_cast<double>(n)));
+
+        std::vector<float> mags(n);
+        for (size_t i = 0; i < n; ++i)
+            mags[i] = std::fabs((*w)[i]);
+        std::vector<float> sorted = mags;
+        std::sort(sorted.begin(), sorted.end());
+        const float cut = zeroed ? sorted[zeroed - 1] : -1.0f;
+
+        // Mean retained magnitudes become the per-layer scales.
+        double pos_sum = 0.0, neg_sum = 0.0;
+        size_t pos_n = 0, neg_n = 0;
+        size_t dropped = 0;
+        std::vector<int8_t> sign(n, 0);
+        for (size_t i = 0; i < n; ++i) {
+            if (dropped < zeroed && mags[i] <= cut) {
+                ++dropped;
+                continue;
+            }
+            if ((*w)[i] > 0.0f) {
+                sign[i] = 1;
+                pos_sum += (*w)[i];
+                ++pos_n;
+            } else {
+                sign[i] = -1;
+                neg_sum += -(*w)[i];
+                ++neg_n;
+            }
+        }
+        const float wp =
+            pos_n ? static_cast<float>(pos_sum / pos_n) : 0.0f;
+        const float wn =
+            neg_n ? static_cast<float>(neg_sum / neg_n) : 0.0f;
+        for (size_t i = 0; i < n; ++i)
+            (*w)[i] = sign[i] > 0 ? wp : (sign[i] < 0 ? -wn : 0.0f);
+    }
+}
+
+} // namespace dlis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Trained Ternary Quantisation (Zhu et al., ICLR 2017; paper §III-C,
+ * §V-B3).
+ *
+ * Each layer's weights are constrained to {-Wn, 0, +Wp}: magnitudes at
+ * or below t * max|w| are zeroed, the rest snap to a per-layer
+ * positive or negative scale (initialised to the mean retained
+ * magnitude, refined during fine-tuning). Fine-tuning uses a
+ * straight-through scheme: SGD updates full-precision shadow weights
+ * and the quantiser re-projects after every step (the trainer's
+ * post-step hook).
+ */
+
+#ifndef DLIS_COMPRESS_TTQ_HPP
+#define DLIS_COMPRESS_TTQ_HPP
+
+#include <map>
+#include <vector>
+
+#include "nn/models/model.hpp"
+#include "sparse/ternary.hpp"
+
+namespace dlis {
+
+/** TTQ quantiser with shadow weights for fine-tuning. */
+class TtqQuantizer
+{
+  public:
+    /** @param threshold the TTQ threshold hyper-parameter t. */
+    explicit TtqQuantizer(double threshold);
+
+    /**
+     * Quantise every conv and linear weight in place; the original
+     * full-precision weights are kept as shadow copies.
+     */
+    void quantise(Model &model);
+
+    /**
+     * Post-optimiser-step projection: fold the step taken on the
+     * quantised weights back into the shadow weights, then re-quantise
+     * (straight-through estimate).
+     */
+    void requantise(Model &model);
+
+    /**
+     * TTQ's second step (§III-C): adjust the per-layer scales along
+     * their loss gradients. The gradient of the loss w.r.t. Wp is the
+     * sum of the weight gradients at positions currently assigned
+     * +Wp (and analogously, negated, for Wn) — call after a backward
+     * pass and before the optimiser step.
+     *
+     * @param model the quantised model (gradients must be populated)
+     * @param lr    learning rate for the scale update
+     */
+    void updateScales(Model &model, double lr);
+
+    /** Learned (wp, wn) for a quantised tensor, for inspection. */
+    std::pair<float, float> scalesFor(const Tensor *weights) const;
+
+    /** Overall fraction of zeroed weights across quantised tensors. */
+    double sparsity(const Model &model) const;
+
+    /**
+     * Quantise with an exact target zero-fraction instead of a
+     * threshold (used to pin the paper's reported sparsity levels).
+     */
+    static void quantiseToSparsity(Model &model, double sparsity);
+
+    /** The threshold this quantiser applies. */
+    double threshold() const { return threshold_; }
+
+  private:
+    static std::vector<Tensor *> quantisableTensors(Model &model);
+
+    void quantiseTensor(Tensor &w);
+
+    double threshold_;
+    std::map<const Tensor *, Tensor> shadow_;
+    std::map<const Tensor *, std::pair<float, float>> scales_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_COMPRESS_TTQ_HPP

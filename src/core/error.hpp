@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error-handling primitives for the dlis library.
+ *
+ * Follows the gem5 fatal/panic split:
+ *  - FatalError (dlis::fatal) — the *user's* fault: bad configuration,
+ *    shape mismatch from caller input, invalid arguments.
+ *  - PanicError (dlis::panic) — a library bug: internal invariant that
+ *    should never fail regardless of what the user does.
+ */
+
+#ifndef DLIS_CORE_ERROR_HPP
+#define DLIS_CORE_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dlis {
+
+/** Raised for user-caused errors (bad config, invalid arguments). */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error("fatal: " + msg)
+    {}
+};
+
+/** Raised for internal invariant violations (library bugs). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error("panic: " + msg)
+    {}
+};
+
+/** Throw a FatalError built from streamable parts. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    throw FatalError(oss.str());
+}
+
+/** Throw a PanicError built from streamable parts. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    throw PanicError(oss.str());
+}
+
+} // namespace dlis
+
+/** Check a user-facing precondition; throws FatalError on failure. */
+#define DLIS_CHECK(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dlis::fatal("check failed: ", #cond, " — ", __VA_ARGS__);     \
+    } while (0)
+
+/** Check an internal invariant; throws PanicError on failure. */
+#define DLIS_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::dlis::panic("assert failed: ", #cond, " — ", __VA_ARGS__);    \
+    } while (0)
+
+#endif // DLIS_CORE_ERROR_HPP

@@ -1,0 +1,38 @@
+#include "core/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace dlis {
+
+namespace {
+
+std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+std::mutex outputMutex;
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel.load(std::memory_order_relaxed);
+}
+
+void
+detail::logLine(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) > static_cast<int>(logLevel()))
+        return;
+    std::lock_guard<std::mutex> lock(outputMutex);
+    const char *tag = level == LogLevel::Warn ? "warn: " : "info: ";
+    std::cerr << tag << msg << '\n';
+}
+
+} // namespace dlis

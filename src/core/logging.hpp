@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal status-message logging (inform/warn), gem5-style.
+ *
+ * Logging never stops execution; it exists purely to surface status to
+ * the user. Verbosity is controlled globally so benches can silence it.
+ */
+
+#ifndef DLIS_CORE_LOGGING_HPP
+#define DLIS_CORE_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace dlis {
+
+/** Verbosity levels, in increasing order of chattiness. */
+enum class LogLevel { Silent = 0, Warn = 1, Inform = 2 };
+
+/** Set the global log level. Thread-safe (atomic store). */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+namespace detail {
+void logLine(LogLevel level, const std::string &msg);
+} // namespace detail
+
+/** Emit an informational status message (level Inform). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logLine(LogLevel::Inform, oss.str());
+}
+
+/** Emit a warning about questionable-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    detail::logLine(LogLevel::Warn, oss.str());
+}
+
+} // namespace dlis
+
+#endif // DLIS_CORE_LOGGING_HPP

@@ -1,0 +1,145 @@
+#include "core/memory_tracker.hpp"
+
+#include <sstream>
+
+namespace dlis {
+
+const char *
+memClassName(MemClass mc)
+{
+    switch (mc) {
+      case MemClass::Weights:     return "weights";
+      case MemClass::SparseMeta:  return "sparse-meta";
+      case MemClass::Activations: return "activations";
+      case MemClass::Scratch:     return "scratch";
+      case MemClass::Other:       return "other";
+    }
+    return "?";
+}
+
+MemoryTracker &
+MemoryTracker::instance()
+{
+    static MemoryTracker tracker;
+    return tracker;
+}
+
+void
+MemoryTracker::allocate(MemClass mc, size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &c = perClass_[mc];
+    c.current += bytes;
+    if (c.current > c.peak)
+        c.peak = c.current;
+    total_.current += bytes;
+    if (total_.current > total_.peak)
+        total_.peak = total_.current;
+}
+
+void
+MemoryTracker::release(MemClass mc, size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &c = perClass_[mc];
+    c.current = c.current >= bytes ? c.current - bytes : 0;
+    total_.current = total_.current >= bytes ? total_.current - bytes : 0;
+}
+
+size_t
+MemoryTracker::currentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_.current;
+}
+
+size_t
+MemoryTracker::peakBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_.peak;
+}
+
+size_t
+MemoryTracker::currentBytes(MemClass mc) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = perClass_.find(mc);
+    return it == perClass_.end() ? 0 : it->second.current;
+}
+
+size_t
+MemoryTracker::peakBytes(MemClass mc) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = perClass_.find(mc);
+    return it == perClass_.end() ? 0 : it->second.peak;
+}
+
+void
+MemoryTracker::resetPeaks()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[mc, c] : perClass_)
+        c.peak = c.current;
+    total_.peak = total_.current;
+}
+
+std::string
+MemoryTracker::summary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream oss;
+    oss << "mem: total " << total_.current << " B (peak " << total_.peak
+        << " B)";
+    for (const auto &[mc, c] : perClass_) {
+        oss << "; " << memClassName(mc) << ' ' << c.current << " B (peak "
+            << c.peak << " B)";
+    }
+    return oss.str();
+}
+
+TrackedBytes::TrackedBytes(MemClass mc, size_t bytes)
+    : memClass_(mc), bytes_(bytes)
+{
+    if (bytes_)
+        MemoryTracker::instance().allocate(memClass_, bytes_);
+}
+
+TrackedBytes::TrackedBytes(TrackedBytes &&other) noexcept
+    : memClass_(other.memClass_), bytes_(other.bytes_)
+{
+    other.bytes_ = 0;
+}
+
+TrackedBytes &
+TrackedBytes::operator=(TrackedBytes &&other) noexcept
+{
+    if (this != &other) {
+        if (bytes_)
+            MemoryTracker::instance().release(memClass_, bytes_);
+        memClass_ = other.memClass_;
+        bytes_ = other.bytes_;
+        other.bytes_ = 0;
+    }
+    return *this;
+}
+
+TrackedBytes::~TrackedBytes()
+{
+    if (bytes_)
+        MemoryTracker::instance().release(memClass_, bytes_);
+}
+
+void
+TrackedBytes::resize(size_t newBytes)
+{
+    auto &tracker = MemoryTracker::instance();
+    if (newBytes > bytes_)
+        tracker.allocate(memClass_, newBytes - bytes_);
+    else if (newBytes < bytes_)
+        tracker.release(memClass_, bytes_ - newBytes);
+    bytes_ = newBytes;
+}
+
+} // namespace dlis

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Byte-exact runtime memory accounting.
+ *
+ * The paper's Tables IV and VI report memory footprints per model and
+ * compression technique; those numbers are "predominantly influenced by
+ * the network parameters being available in memory, input and output
+ * buffers and intermediate allocation for padding input" (§V-D). To
+ * reproduce them from first principles, every Tensor and sparse matrix
+ * registers its allocation here under a category, and the benches query
+ * the per-category and total high-water marks.
+ */
+
+#ifndef DLIS_CORE_MEMORY_TRACKER_HPP
+#define DLIS_CORE_MEMORY_TRACKER_HPP
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace dlis {
+
+/** What an allocation is used for; drives the footprint breakdown. */
+enum class MemClass
+{
+    Weights,        //!< model parameters (dense payload)
+    SparseMeta,     //!< CSR/ternary index + pointer arrays
+    Activations,    //!< layer input/output buffers
+    Scratch,        //!< im2col buffers, padding copies, workspace
+    Other,          //!< anything else
+};
+
+/** Human-readable name of a MemClass. */
+const char *memClassName(MemClass mc);
+
+/**
+ * Process-wide allocation ledger.
+ *
+ * Thread-safe. Tracks current and peak bytes, per MemClass and total.
+ * Scoped usage: reset() at the start of an experiment, run one
+ * inference, then read peakBytes() — that is the runtime footprint the
+ * paper reports.
+ */
+class MemoryTracker
+{
+  public:
+    /** The single process-wide instance. */
+    static MemoryTracker &instance();
+
+    /** Record an allocation of @p bytes in class @p mc. */
+    void allocate(MemClass mc, size_t bytes);
+
+    /** Record a deallocation of @p bytes in class @p mc. */
+    void release(MemClass mc, size_t bytes);
+
+    /** Currently live bytes across all classes. */
+    size_t currentBytes() const;
+
+    /** Peak live bytes since the last reset. */
+    size_t peakBytes() const;
+
+    /** Currently live bytes in one class. */
+    size_t currentBytes(MemClass mc) const;
+
+    /** Peak live bytes in one class since the last reset. */
+    size_t peakBytes(MemClass mc) const;
+
+    /** Zero the peaks (current counts are preserved as the new peaks). */
+    void resetPeaks();
+
+    /** One-line footprint summary, e.g. for logs. */
+    std::string summary() const;
+
+  private:
+    MemoryTracker() = default;
+
+    struct Counter
+    {
+        size_t current = 0;
+        size_t peak = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<MemClass, Counter> perClass_;
+    Counter total_;
+};
+
+/**
+ * RAII registration of an externally-owned buffer with the tracker.
+ * Move-only; releases its bytes on destruction.
+ */
+class TrackedBytes
+{
+  public:
+    TrackedBytes() = default;
+
+    /** Register @p bytes of class @p mc with the global tracker. */
+    TrackedBytes(MemClass mc, size_t bytes);
+
+    TrackedBytes(const TrackedBytes &) = delete;
+    TrackedBytes &operator=(const TrackedBytes &) = delete;
+    TrackedBytes(TrackedBytes &&other) noexcept;
+    TrackedBytes &operator=(TrackedBytes &&other) noexcept;
+    ~TrackedBytes();
+
+    /** Change the tracked size (e.g. after a resize). */
+    void resize(size_t newBytes);
+
+    size_t bytes() const { return bytes_; }
+
+  private:
+    MemClass memClass_ = MemClass::Other;
+    size_t bytes_ = 0;
+};
+
+} // namespace dlis
+
+#endif // DLIS_CORE_MEMORY_TRACKER_HPP

@@ -1,0 +1,64 @@
+#include "core/shape.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+Shape::Shape(std::initializer_list<size_t> dims)
+    : dims_(dims)
+{}
+
+Shape::Shape(std::vector<size_t> dims)
+    : dims_(std::move(dims))
+{}
+
+size_t
+Shape::dim(size_t i) const
+{
+    DLIS_CHECK(i < dims_.size(),
+               "dim index ", i, " out of range for rank ", dims_.size());
+    return dims_[i];
+}
+
+size_t
+Shape::numel() const
+{
+    size_t n = 1;
+    for (size_t d : dims_)
+        n *= d;
+    return n;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream oss;
+    oss << '[';
+    for (size_t i = 0; i < dims_.size(); ++i) {
+        if (i)
+            oss << ", ";
+        oss << dims_[i];
+    }
+    oss << ']';
+    return oss.str();
+}
+
+size_t
+Shape::dim4(size_t i) const
+{
+    DLIS_CHECK(dims_.size() == 4,
+               "NCHW accessor used on rank-", dims_.size(), " shape ",
+               str());
+    return dims_[i];
+}
+
+std::ostream &
+operator<<(std::ostream &os, const Shape &s)
+{
+    return os << s.str();
+}
+
+} // namespace dlis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tensor shape algebra.
+ *
+ * Shapes are small vectors of dimensions; CNN activations use the NCHW
+ * convention (batch, channels, height, width) and convolution filters use
+ * OIHW (out-channels, in-channels, kernel-h, kernel-w).
+ */
+
+#ifndef DLIS_CORE_SHAPE_HPP
+#define DLIS_CORE_SHAPE_HPP
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dlis {
+
+/** An n-dimensional tensor shape with NCHW/OIHW helpers. */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from an explicit dimension list, e.g. {n, c, h, w}. */
+    Shape(std::initializer_list<size_t> dims);
+
+    /** Construct from a vector of dimensions. */
+    explicit Shape(std::vector<size_t> dims);
+
+    /** Number of dimensions. */
+    size_t rank() const { return dims_.size(); }
+
+    /** Dimension at index i. @pre i < rank(). */
+    size_t dim(size_t i) const;
+
+    /** Dimension at index i (unchecked operator form). */
+    size_t operator[](size_t i) const { return dims_[i]; }
+
+    /** Total number of elements (product of dims; 1 for rank 0). */
+    size_t numel() const;
+
+    /** True when every dimension matches. */
+    bool operator==(const Shape &other) const = default;
+
+    /** Human-readable form, e.g. "[1, 64, 32, 32]". */
+    std::string str() const;
+
+    /** @name NCHW accessors (require rank 4). */
+    /** @{ */
+    size_t n() const { return dim4(0); }
+    size_t c() const { return dim4(1); }
+    size_t h() const { return dim4(2); }
+    size_t w() const { return dim4(3); }
+    /** @} */
+
+    const std::vector<size_t> &dims() const { return dims_; }
+
+  private:
+    size_t dim4(size_t i) const;
+
+    std::vector<size_t> dims_;
+};
+
+/** Stream a shape in its str() form. */
+std::ostream &operator<<(std::ostream &os, const Shape &s);
+
+} // namespace dlis
+
+#endif // DLIS_CORE_SHAPE_HPP

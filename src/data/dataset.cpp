@@ -1,0 +1,108 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+Tensor
+Dataset::image(size_t index) const
+{
+    DLIS_CHECK(index < size(), "image index ", index,
+               " out of range for ", size(), " images");
+    const auto &d = images.shape().dims();
+    const size_t chw = d[1] * d[2] * d[3];
+    Tensor out(Shape{1, d[1], d[2], d[3]});
+    std::memcpy(out.data(), images.data() + index * chw,
+                chw * sizeof(float));
+    return out;
+}
+
+DataLoader::DataLoader(const Dataset &data, size_t batchSize,
+                       bool shuffle, bool augment, uint64_t seed)
+    : data_(data), batchSize_(batchSize), shuffle_(shuffle),
+      augment_(augment), rng_(seed), order_(data.size())
+{
+    DLIS_CHECK(batchSize_ > 0 && batchSize_ <= data_.size(),
+               "batch size ", batchSize_, " invalid for ", data_.size(),
+               " images");
+    std::iota(order_.begin(), order_.end(), 0);
+    if (shuffle_)
+        reshuffle();
+}
+
+size_t
+DataLoader::batchesPerEpoch() const
+{
+    return data_.size() / batchSize_;
+}
+
+void
+DataLoader::reshuffle()
+{
+    // Fisher–Yates with our deterministic generator.
+    for (size_t i = order_.size(); i > 1; --i) {
+        const size_t j = rng_.uniformInt(i);
+        std::swap(order_[i - 1], order_[j]);
+    }
+}
+
+Batch
+DataLoader::next()
+{
+    if (cursor_ + batchSize_ > data_.size()) {
+        cursor_ = 0;
+        if (shuffle_)
+            reshuffle();
+    }
+
+    const auto &d = data_.images.shape().dims();
+    const size_t c = d[1], h = d[2], w = d[3];
+    const size_t chw = c * h * w;
+
+    Batch batch;
+    batch.images = Tensor(Shape{batchSize_, c, h, w});
+    batch.labels.resize(batchSize_);
+
+    for (size_t b = 0; b < batchSize_; ++b) {
+        const size_t idx = order_[cursor_ + b];
+        batch.labels[b] = data_.labels[idx];
+        const float *src = data_.images.data() + idx * chw;
+        float *dst = batch.images.data() + b * chw;
+
+        if (!augment_) {
+            std::memcpy(dst, src, chw * sizeof(float));
+            continue;
+        }
+
+        // Pad with cropPad zeros on every side, take a random crop of
+        // the original size: offsets in [0, 2*cropPad].
+        const auto oy = static_cast<ptrdiff_t>(
+            rng_.uniformInt(2 * cropPad + 1));
+        const auto ox = static_cast<ptrdiff_t>(
+            rng_.uniformInt(2 * cropPad + 1));
+        const auto pad = static_cast<ptrdiff_t>(cropPad);
+        for (size_t ch = 0; ch < c; ++ch) {
+            for (size_t y = 0; y < h; ++y) {
+                const ptrdiff_t sy =
+                    static_cast<ptrdiff_t>(y) + oy - pad;
+                for (size_t x = 0; x < w; ++x) {
+                    const ptrdiff_t sx =
+                        static_cast<ptrdiff_t>(x) + ox - pad;
+                    float v = 0.0f;
+                    if (sy >= 0 && sy < static_cast<ptrdiff_t>(h) &&
+                        sx >= 0 && sx < static_cast<ptrdiff_t>(w))
+                        v = src[ch * h * w + sy * w + sx];
+                    dst[ch * h * w + y * w + x] = v;
+                }
+            }
+        }
+    }
+    cursor_ += batchSize_;
+    return batch;
+}
+
+} // namespace dlis

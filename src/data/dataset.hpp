@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Labelled image dataset and mini-batch loader.
+ */
+
+#ifndef DLIS_DATA_DATASET_HPP
+#define DLIS_DATA_DATASET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace dlis {
+
+/** A labelled set of NCHW images. */
+struct Dataset
+{
+    Tensor images;           //!< [count, channels, h, w]
+    std::vector<int> labels; //!< one label per image
+
+    /** Number of images. */
+    size_t size() const { return labels.size(); }
+
+    /** Copy one image out as a [1, c, h, w] tensor. */
+    Tensor image(size_t index) const;
+};
+
+/** One training mini-batch. */
+struct Batch
+{
+    Tensor images; //!< [batch, c, h, w]
+    std::vector<int> labels;
+};
+
+/**
+ * Deterministic mini-batch iterator with optional shuffling and
+ * pad-and-random-crop augmentation (the paper pads each image with
+ * 2x2 zeros and takes random 32x32 crops, §IV).
+ */
+class DataLoader
+{
+  public:
+    /**
+     * @param data        the dataset (not owned; must outlive loader)
+     * @param batchSize   images per batch
+     * @param shuffle     reshuffle indices every epoch
+     * @param augment     apply pad-and-crop augmentation
+     * @param seed        RNG seed for shuffling/cropping
+     */
+    DataLoader(const Dataset &data, size_t batchSize, bool shuffle,
+               bool augment, uint64_t seed = 7);
+
+    /** Batches per epoch (last partial batch is dropped). */
+    size_t batchesPerEpoch() const;
+
+    /** Fetch the next batch, wrapping (and reshuffling) at epoch end. */
+    Batch next();
+
+    /** Pad pixels added on each side before cropping. */
+    static constexpr size_t cropPad = 2;
+
+  private:
+    void reshuffle();
+
+    const Dataset &data_;
+    size_t batchSize_;
+    bool shuffle_;
+    bool augment_;
+    Rng rng_;
+    std::vector<size_t> order_;
+    size_t cursor_ = 0;
+};
+
+} // namespace dlis
+
+#endif // DLIS_DATA_DATASET_HPP

@@ -1,0 +1,115 @@
+#include "data/synth_cifar.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+namespace {
+
+/** Fixed per-class archetype parameters (deterministic by class id). */
+struct ClassArchetype
+{
+    double freq;      //!< grating spatial frequency
+    double angle;     //!< grating orientation
+    double blobX;     //!< radial blob centre x in [0, 1]
+    double blobY;     //!< radial blob centre y in [0, 1]
+    double blobScale; //!< blob radius scale
+    double rgb[3];    //!< base colour per channel
+};
+
+ClassArchetype
+archetypeFor(size_t cls, size_t classes)
+{
+    // Derive stable parameters from the class id so the task is the
+    // same across runs and dataset sizes.
+    Rng rng(0xC1FA5u * 131 + cls);
+    ClassArchetype a;
+    a.freq = 1.5 + 0.9 * static_cast<double>(cls);
+    a.angle = M_PI * static_cast<double>(cls) /
+              static_cast<double>(classes);
+    a.blobX = rng.uniform(0.2, 0.8);
+    a.blobY = rng.uniform(0.2, 0.8);
+    a.blobScale = rng.uniform(0.15, 0.35);
+    for (double &c : a.rgb)
+        c = rng.uniform(-0.8, 0.8);
+    return a;
+}
+
+} // namespace
+
+Dataset
+makeSynthCifar(const SynthCifarOptions &options)
+{
+    DLIS_CHECK(options.count > 0 && options.classes > 0,
+               "SynthCIFAR needs positive count and classes");
+    const size_t s = options.imageSize;
+    Rng rng(options.seed);
+
+    Dataset data;
+    data.images = Tensor(Shape{options.count, 3, s, s});
+    data.labels.resize(options.count);
+
+    std::vector<ClassArchetype> archetypes;
+    for (size_t c = 0; c < options.classes; ++c)
+        archetypes.push_back(archetypeFor(c, options.classes));
+
+    for (size_t i = 0; i < options.count; ++i) {
+        const size_t cls = i % options.classes;
+        data.labels[i] = static_cast<int>(cls);
+        const ClassArchetype &a = archetypes[cls];
+
+        // Per-sample jitter: phase, blob offset, contrast.
+        const double phase = rng.uniform(0.0, 2.0 * M_PI);
+        const double dx = rng.uniform(-0.1, 0.1);
+        const double dy = rng.uniform(-0.1, 0.1);
+        const double contrast = rng.uniform(0.7, 1.3);
+
+        float *img = data.images.data() + i * 3 * s * s;
+        for (size_t ch = 0; ch < 3; ++ch) {
+            for (size_t y = 0; y < s; ++y) {
+                for (size_t x = 0; x < s; ++x) {
+                    const double u =
+                        static_cast<double>(x) / (s - 1);
+                    const double v =
+                        static_cast<double>(y) / (s - 1);
+                    const double t = u * std::cos(a.angle) +
+                                     v * std::sin(a.angle);
+                    const double grating =
+                        std::sin(2.0 * M_PI * a.freq * t + phase);
+                    const double rx = u - (a.blobX + dx);
+                    const double ry = v - (a.blobY + dy);
+                    const double blob = std::exp(
+                        -(rx * rx + ry * ry) /
+                        (2.0 * a.blobScale * a.blobScale));
+                    double val = contrast *
+                                 (0.5 * grating + 0.8 * blob +
+                                  a.rgb[ch]);
+                    val += rng.normal(0.0, options.noise);
+                    img[ch * s * s + y * s + x] =
+                        static_cast<float>(val);
+                }
+            }
+        }
+    }
+    return data;
+}
+
+SynthCifarSplit
+makeSynthCifarSplit(size_t trainCount, size_t testCount, uint64_t seed,
+                    double noise)
+{
+    SynthCifarOptions train_opts;
+    train_opts.count = trainCount;
+    train_opts.seed = seed;
+    train_opts.noise = noise;
+
+    SynthCifarOptions test_opts = train_opts;
+    test_opts.count = testCount;
+    test_opts.seed = seed ^ 0x5EEDFACEull;
+
+    return {makeSynthCifar(train_opts), makeSynthCifar(test_opts)};
+}
+
+} // namespace dlis

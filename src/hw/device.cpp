@@ -1,0 +1,95 @@
+#include "hw/device.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+int
+DeviceModel::maxThreads() const
+{
+    int total = 0;
+    for (const auto &c : clusters)
+        total += c.cores;
+    return total;
+}
+
+double
+DeviceModel::macsPerSec(int threads) const
+{
+    DLIS_CHECK(threads >= 1, "need at least one thread");
+    double rate = 0.0;
+    int remaining = threads;
+    for (const auto &c : clusters) {
+        const int used = std::min(remaining, c.cores);
+        rate += used * c.macsPerSec;
+        remaining -= used;
+        if (remaining == 0)
+            break;
+    }
+    // Oversubscription beyond physical cores adds no throughput.
+    const int used = std::min(threads, maxThreads());
+    return rate / (1.0 + parallelContention * (used - 1));
+}
+
+DeviceModel
+odroidXu4()
+{
+    DeviceModel d;
+    d.name = "odroid-xu4";
+    // Calibration: VGG-16/CIFAR (~314 M dense MACs) takes ~4.2 s on
+    // one A15 thread in Fig 4(a) => ~75 M MAC/s/core for the scalar
+    // direct-conv loop. The A7 runs the same loop at roughly a third
+    // of that (lower clock, in-order core).
+    d.clusters = {{"cortex-a15", 4, 75e6}, {"cortex-a7", 4, 26e6}};
+    d.memBytesPerSec = 2.0e9;     // effective LPDDR3 streaming rate
+    d.forkJoinSecPerThread = 9e-4; // big.LITTLE wake-up is expensive
+    d.parallelContention = 0.12;   // shared LPDDR3 bus
+    d.layerDispatchSec = 1e-3;
+    d.sparseMacFactor = 1.5;
+    d.sparseVisitTaps = 2.6;
+    d.loopOverheadTaps = 24.0;
+
+    GpuModel gpu;
+    gpu.name = "mali-t628-mp6";
+    gpu.computeUnits = 6;
+    // Calibration: hand-tuned OpenCL VGG-16 at ~1.2 s (Fig 6).
+    gpu.handKernelMacsPerSec = 260e6;
+    // The tiled GEMM kernel is far more efficient on big tiles; this
+    // is what lets CLBlast win at ImageNet scale (§V-F).
+    gpu.gemmMacsPerSec = 1.5e9;
+    gpu.kernelLaunchSec = 6e-4;
+    gpu.transferBytesPerSec = 1.2e9;
+    // Calibration: CLBlast loses ~10x on ResNet-18/CIFAR (Fig 6).
+    gpu.libCallOverheadSec = 0.25;
+    gpu.im2colBytesPerSec = 150e6;
+    d.gpu = gpu;
+    // 28 nm big.LITTLE: cheap MACs, expensive LPDDR3 traffic.
+    d.joulePerMac = 25e-12;
+    d.joulePerDramByte = 180e-12;
+    return d;
+}
+
+DeviceModel
+intelCoreI7()
+{
+    DeviceModel d;
+    d.name = "intel-core-i7-3820";
+    // Calibration: VGG-16/CIFAR at ~1.4 s single-threaded in Fig 4(b)
+    // => ~225 M MAC/s/core.
+    d.clusters = {{"i7-3820", 4, 225e6}};
+    d.memBytesPerSec = 12.0e9;
+    d.forkJoinSecPerThread = 2e-4;
+    d.parallelContention = 0.07;
+    d.layerDispatchSec = 1e-4;
+    d.sparseMacFactor = 1.5;
+    d.sparseVisitTaps = 2.6;
+    d.loopOverheadTaps = 16.0; // deeper OoO window hides more startup
+    // 32 nm desktop: wider core burns more per op; DDR3 per byte.
+    d.joulePerMac = 45e-12;
+    d.joulePerDramByte = 120e-12;
+    return d;
+}
+
+} // namespace dlis

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Hardware platform descriptors.
+ *
+ * The paper evaluates on two physical platforms (§IV-E):
+ *  - Odroid-XU4: ARM big.LITTLE (4x Cortex-A15 @ 2.0 GHz + 4x
+ *    Cortex-A7 @ 1.4 GHz), Mali-T628 MP6 GPU, 2 GB shared LPDDR3;
+ *  - a desktop with a 4-core Intel Core i7-3820 @ 3.6 GHz.
+ *
+ * Neither is available here, so each is described by a small set of
+ * first-order parameters (per-core effective MAC throughput for the
+ * paper's scalar direct-convolution C code, memory bandwidth, parallel
+ * fork/join cost, CSR traversal penalty, GPU kernel rates and launch
+ * overheads). The *calibration* constants are set from the paper's own
+ * single-thread measurements (Fig 4); everything else — thread
+ * scaling, sparse-vs-dense crossover, MobileNet's refusal to scale,
+ * CLBlast's small-matrix collapse — is then *predicted* by the model,
+ * which is exactly the characterisation the paper performs.
+ */
+
+#ifndef DLIS_HW_DEVICE_HPP
+#define DLIS_HW_DEVICE_HPP
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dlis {
+
+/** One homogeneous CPU cluster (e.g. the four A15 cores). */
+struct CpuCluster
+{
+    std::string name;
+    int cores = 1;
+    /**
+     * Effective dense multiply-accumulates per second per core for the
+     * paper's scalar direct-convolution inner loop (not peak FLOPS).
+     */
+    double macsPerSec = 1e8;
+};
+
+/** GPU parameters for the OpenCL backends. */
+struct GpuModel
+{
+    std::string name;
+    int computeUnits = 1;
+    /** Effective MAC/s of the hand-tuned dot-product kernel. */
+    double handKernelMacsPerSec = 1e8;
+    /** Effective MAC/s of the tiled GEMM kernel on large tiles. */
+    double gemmMacsPerSec = 1e9;
+    /** Seconds per kernel enqueue (driver + dispatch). */
+    double kernelLaunchSec = 5e-4;
+    /** Host<->device copy bandwidth, bytes/s. */
+    double transferBytesPerSec = 1e9;
+    /**
+     * Fixed library work per GEMM call (CLBlast-style): kernel
+     * selection, buffer packing/padding, host synchronisation. This is
+     * what buries the library on CIFAR-sized matrices (Fig 6).
+     */
+    double libCallOverheadSec = 0.0;
+    /** Host-side im2col streaming rate, bytes/s. */
+    double im2colBytesPerSec = 1e8;
+};
+
+/** A whole platform. */
+struct DeviceModel
+{
+    std::string name;
+
+    /** Clusters in scheduling order (big cores fill first). */
+    std::vector<CpuCluster> clusters;
+
+    /** Streaming DRAM bandwidth, bytes/s. */
+    double memBytesPerSec = 1e9;
+
+    /**
+     * Per-parallel-layer fork/join + dynamic-scheduling cost, seconds
+     * per participating thread. OpenMP synchronises at every layer
+     * (§IV-D), so a model with many thin layers pays this often —
+     * the mechanism behind MobileNet's inverse scaling (Fig 4e).
+     */
+    double forkJoinSecPerThread = 0.0;
+
+    /** Fixed per-layer dispatch cost (call, buffer setup), seconds. */
+    double layerDispatchSec = 0.0;
+
+    /**
+     * Per-non-zero slowdown of CSR traversal versus a dense MAC
+     * (index decode, scattered accumulation).
+     */
+    double sparseMacFactor = 1.5;
+
+    /**
+     * Bookkeeping cost of one CSR row visit, in dense-MAC
+     * equivalents. Row visits happen per (output pixel, filter slice,
+     * kernel row) whether or not the row holds non-zeros, so this term
+     * scales with the *dense* work divided by the kernel width — it is
+     * why the paper's Fig 1 "actual" curve barely falls as pruning
+     * rises, and why 1x1-filter MobileNet suffers worst under CSR.
+     */
+    double sparseVisitTaps = 2.6;
+
+    /**
+     * Per-weight cost multiplier for decoding 2-bit packed ternary
+     * codes relative to a dense MAC — the "inference time would also
+     * increase" half of §V-D's packing trade-off.
+     */
+    double packedDecodeFactor = 2.2;
+
+    /**
+     * @name Energy constants.
+     * The paper's motivation (§I, citing Han et al. [12]) is that
+     * off-chip DRAM access dominates inference energy; these
+     * first-order constants (scalar-MAC energy including pipeline
+     * overheads, and per-byte DRAM access energy, Horowitz-style
+     * figures scaled to each process) let the cost model report that
+     * decomposition.
+     */
+    /** @{ */
+    double joulePerMac = 20e-12;
+    double joulePerDramByte = 150e-12;
+    /** @} */
+
+    /**
+     * Inner-loop startup cost, expressed in equivalent MAC-taps: a
+     * reduce loop of length L runs at peak * L / (L + overhead). This
+     * is what penalises depthwise (L = 9) and narrow pointwise
+     * convolutions and makes MobileNet cheap-but-inefficient.
+     */
+    double loopOverheadTaps = 24.0;
+
+    /**
+     * Memory/bus contention between threads: aggregate throughput is
+     * divided by (1 + contention * (threads - 1)). Calibrated against
+     * the paper's measured thread-scaling (Fig 4 a,b).
+     */
+    double parallelContention = 0.0;
+
+    std::optional<GpuModel> gpu;
+
+    /** Largest supported OpenMP thread count. */
+    int maxThreads() const;
+
+    /** Aggregate dense MAC/s with @p threads (big cores first). */
+    double macsPerSec(int threads) const;
+};
+
+/** The Odroid-XU4 board (paper §IV-E1). */
+DeviceModel odroidXu4();
+
+/** The Intel Core i7-3820 desktop (paper §IV-E2). */
+DeviceModel intelCoreI7();
+
+} // namespace dlis
+
+#endif // DLIS_HW_DEVICE_HPP

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ReLU activation, with an optional Fisher-information probe.
+ *
+ * Fisher channel pruning (Theis et al. 2018; paper §III-B/§V-B2)
+ * estimates each channel's importance as the squared sum over a batch
+ * of (activation x activation-gradient), accumulated at the ReLU that
+ * follows the prunable convolution. When the probe is enabled, this
+ * layer records exactly that during backward.
+ */
+
+#ifndef DLIS_NN_ACTIVATIONS_HPP
+#define DLIS_NN_ACTIVATIONS_HPP
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dlis {
+
+/** Elementwise max(0, x) with an optional channel-saliency probe. */
+class ReLU : public Layer
+{
+  public:
+    explicit ReLU(std::string name);
+
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input, ExecContext &ctx) override;
+    Tensor backward(const Tensor &gradOut, ExecContext &ctx) override;
+    LayerCost cost(const Shape &input) const override;
+
+    /** Start accumulating per-channel Fisher information. */
+    void enableFisherProbe(size_t channels);
+
+    /** Stop accumulating and release probe state. */
+    void disableFisherProbe();
+
+    /** Accumulated Fisher information per channel. */
+    const std::vector<double> &fisherInfo() const { return fisher_; }
+
+    /** Zero the accumulated Fisher information. */
+    void resetFisherInfo();
+
+  private:
+    Tensor cachedOutput_; //!< post-activation cache for backward
+    bool probeEnabled_ = false;
+    std::vector<double> fisher_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_NN_ACTIVATIONS_HPP

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Execution context: which backend, format, algorithm, and thread count
+ * a forward pass runs with — one point in the paper's across-stack
+ * configuration space (Table II).
+ */
+
+#ifndef DLIS_NN_EXEC_CONTEXT_HPP
+#define DLIS_NN_EXEC_CONTEXT_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "backend/conv_params.hpp"
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "backend/oclsim/ndrange.hpp"
+
+namespace dlis {
+
+/** Systems-layer candidate (paper §IV-D). */
+enum class Backend
+{
+    Serial,       //!< single-threaded C reference
+    OpenMP,       //!< CPU parallel-for, dynamic schedule
+    OclHandTuned, //!< hand-tuned OpenCL dot-product kernels (simulated)
+    OclGemmLib,   //!< CLBlast-style im2col + tuned GEMM (simulated)
+};
+
+/** Human-readable backend name. */
+const char *backendName(Backend b);
+
+/** Data-format layer candidate (paper §IV-C). */
+enum class WeightFormat
+{
+    Dense,         //!< plain dense tensors
+    Csr,           //!< compressed sparse row (the paper's deployment)
+    PackedTernary, //!< 2-bit ternary codes (§V-D's declined option)
+};
+
+/** Human-readable format name. */
+const char *weightFormatName(WeightFormat f);
+
+/** Convolution algorithm (paper §II-B layer 3). */
+enum class ConvAlgo
+{
+    Direct,     //!< direct convolution (the paper's baseline path)
+    Im2colGemm, //!< im2col + GEMM
+    Winograd,   //!< F(2x2, 3x3) transform (3x3 stride-1 layers only;
+                //!< other geometries fall back to Direct)
+};
+
+/** Execution state threaded through every layer's forward/backward. */
+struct ExecContext
+{
+    Backend backend = Backend::Serial;
+    int threads = 1;
+    ConvAlgo convAlgo = ConvAlgo::Direct;
+    bool training = false; //!< cache activations for backward
+
+    /** Command queue for the OpenCL-simulated backends (not owned). */
+    oclsim::CommandQueue *queue = nullptr;
+
+    /** GEMM library instance for Backend::OclGemmLib (not owned). */
+    gemmlib::GemmLibrary *gemmLib = nullptr;
+
+    /** Threading policy handed to CPU kernels. */
+    KernelPolicy
+    policy() const
+    {
+        return {backend == Backend::OpenMP ? threads : 1, true};
+    }
+};
+
+/**
+ * Per-layer cost facts collected for the hardware model and the
+ * expected-vs-actual analysis (Fig 1).
+ */
+struct LayerCost
+{
+    std::string name;
+    size_t denseMacs = 0;   //!< MACs if the layer ran dense
+    size_t macs = 0;        //!< MACs actually executed (nnz-based if CSR)
+    size_t weightBytes = 0; //!< bytes of weights read (incl. CSR meta)
+    size_t inputBytes = 0;  //!< activation bytes read
+    size_t outputBytes = 0; //!< activation bytes written
+    size_t params = 0;      //!< parameter count (dense equivalent)
+    bool sparseTraversal = false; //!< kernel walks CSR indices
+    /**
+     * CSR row-walks the kernel performs (per output pixel, per slice,
+     * per kernel row). Each visit costs bookkeeping even when the row
+     * is empty — the term that keeps sparse inference near dense speed
+     * regardless of sparsity (Fig 1) and ruins 1x1-filter models.
+     */
+    size_t sparseRowVisits = 0;
+    bool packedTernary = false; //!< kernel decodes 2-bit weight codes
+    bool parallel = true;   //!< layer runs under the parallel loop
+
+    /** @name GEMM geometry of the im2col path (0 when not a conv/fc). */
+    /** @{ */
+    size_t gemmM = 0; //!< output channels
+    size_t gemmK = 0; //!< reduction length (cin * kh * kw)
+    size_t gemmN = 0; //!< spatial size (hout * wout)
+    size_t images = 1; //!< batch size (one GEMM per image)
+    /** @} */
+};
+
+} // namespace dlis
+
+#endif // DLIS_NN_EXEC_CONTEXT_HPP

@@ -1,0 +1,97 @@
+#include "nn/fold_bn.hpp"
+
+#include <cmath>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+
+namespace dlis {
+
+namespace {
+
+/** Per-channel scale/shift of an inference-mode batch-norm. */
+void
+bnAffine(BatchNorm2d &bn, std::vector<float> &scale,
+         std::vector<float> &shift)
+{
+    const size_t c = bn.channels();
+    scale.resize(c);
+    shift.resize(c);
+    for (size_t ch = 0; ch < c; ++ch) {
+        const float inv_std =
+            1.0f / std::sqrt(bn.runningVar()[ch] + 1e-5f);
+        scale[ch] = bn.gamma()[ch] * inv_std;
+        shift[ch] = bn.beta()[ch] -
+                    bn.gamma()[ch] * bn.runningMean()[ch] * inv_std;
+    }
+}
+
+bool
+foldIntoConv(Conv2d &conv, BatchNorm2d &bn)
+{
+    if (conv.format() != WeightFormat::Dense ||
+        bn.channels() != conv.cout())
+        return false;
+    std::vector<float> scale, shift;
+    bnAffine(bn, scale, shift);
+
+    conv.enableBias();
+    const size_t filter =
+        conv.cin() * conv.kernel() * conv.kernel();
+    for (size_t oc = 0; oc < conv.cout(); ++oc) {
+        for (size_t i = 0; i < filter; ++i)
+            conv.weight()[oc * filter + i] *= scale[oc];
+        conv.bias()[oc] = conv.bias()[oc] * scale[oc] + shift[oc];
+    }
+    return true;
+}
+
+bool
+foldIntoDepthwise(DepthwiseConv2d &dw, BatchNorm2d &bn)
+{
+    if (bn.channels() != dw.channels())
+        return false;
+    std::vector<float> scale, shift;
+    bnAffine(bn, scale, shift);
+
+    dw.enableBias();
+    const size_t kk = dw.weight().shape()[2] * dw.weight().shape()[3];
+    for (size_t ch = 0; ch < dw.channels(); ++ch) {
+        for (size_t i = 0; i < kk; ++i)
+            dw.weight()[ch * kk + i] *= scale[ch];
+        dw.bias()[ch] = dw.bias()[ch] * scale[ch] + shift[ch];
+    }
+    return true;
+}
+
+} // namespace
+
+size_t
+foldBatchNorms(Network &net)
+{
+    size_t folded = 0;
+    size_t i = 0;
+    while (i + 1 < net.size()) {
+        auto *bn = dynamic_cast<BatchNorm2d *>(&net.layer(i + 1));
+        if (!bn) {
+            ++i;
+            continue;
+        }
+        bool done = false;
+        if (auto *conv = dynamic_cast<Conv2d *>(&net.layer(i)))
+            done = foldIntoConv(*conv, *bn);
+        else if (auto *dw =
+                     dynamic_cast<DepthwiseConv2d *>(&net.layer(i)))
+            done = foldIntoDepthwise(*dw, *bn);
+        if (done) {
+            net.eraseLayer(i + 1);
+            ++folded;
+        } else {
+            ++i;
+        }
+    }
+    return folded;
+}
+
+} // namespace dlis

@@ -1,0 +1,63 @@
+#include "nn/layer.hpp"
+
+namespace dlis {
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+      case Backend::Serial:       return "serial";
+      case Backend::OpenMP:       return "openmp";
+      case Backend::OclHandTuned: return "opencl-hand-tuned";
+      case Backend::OclGemmLib:   return "opencl-clblast";
+    }
+    return "?";
+}
+
+const char *
+weightFormatName(WeightFormat f)
+{
+    switch (f) {
+      case WeightFormat::Dense: return "dense";
+      case WeightFormat::Csr:   return "csr";
+      case WeightFormat::PackedTernary: return "packed-ternary";
+    }
+    return "?";
+}
+
+Tensor
+Layer::backward(const Tensor &gradOut, ExecContext &ctx)
+{
+    (void)gradOut;
+    (void)ctx;
+    fatal("layer '", name_, "' does not implement backward");
+}
+
+void
+Layer::zeroGrad()
+{
+    for (Tensor *g : gradients())
+        g->fill(0.0f);
+}
+
+LayerCost
+Layer::cost(const Shape &input) const
+{
+    LayerCost c;
+    c.name = name_;
+    c.inputBytes = input.numel() * sizeof(float);
+    c.outputBytes = outputShape(input).numel() * sizeof(float);
+    c.parallel = false;
+    return c;
+}
+
+size_t
+Layer::parameterCount()
+{
+    size_t n = 0;
+    for (Tensor *p : parameters())
+        n += p->numel();
+    return n;
+}
+
+} // namespace dlis

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Abstract network layer.
+ *
+ * Layers own their parameters and gradients, support forward on any
+ * backend and backward on the serial backend (training always runs
+ * serially; the paper trains offline and characterises inference).
+ */
+
+#ifndef DLIS_NN_LAYER_HPP
+#define DLIS_NN_LAYER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "nn/exec_context.hpp"
+
+namespace dlis {
+
+/** Base class of every network layer. */
+class Layer
+{
+  public:
+    explicit Layer(std::string name) : name_(std::move(name)) {}
+    virtual ~Layer() = default;
+
+    Layer(const Layer &) = delete;
+    Layer &operator=(const Layer &) = delete;
+
+    /** Layer's display name (e.g. "conv3"). */
+    const std::string &name() const { return name_; }
+
+    /** Shape this layer produces for @p input shape. */
+    virtual Shape outputShape(const Shape &input) const = 0;
+
+    /** Run the layer. With ctx.training the input is cached. */
+    virtual Tensor forward(const Tensor &input, ExecContext &ctx) = 0;
+
+    /**
+     * Back-propagate: consume dL/d(output), accumulate parameter
+     * gradients, return dL/d(input). Requires a prior training-mode
+     * forward. Layers that are inference-only throw.
+     */
+    virtual Tensor backward(const Tensor &gradOut, ExecContext &ctx);
+
+    /** Trainable parameter tensors (may be empty). */
+    virtual std::vector<Tensor *> parameters() { return {}; }
+
+    /** Gradient tensors, aligned with parameters(). */
+    virtual std::vector<Tensor *> gradients() { return {}; }
+
+    /** Zero all gradient tensors. */
+    void zeroGrad();
+
+    /** Cost facts for an input of the given shape. */
+    virtual LayerCost cost(const Shape &input) const;
+
+    /** Total trainable parameter count. */
+    size_t parameterCount();
+
+  protected:
+    std::string name_;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace dlis
+
+#endif // DLIS_NN_LAYER_HPP

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * MobileNet v1 (paper §IV-A): the original ImageNet definition with the
+ * classifier re-sized for CIFAR-10. 27 convolutional layers alternate
+ * 3x3 depthwise and 1x1 pointwise convolutions.
+ */
+
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+
+namespace dlis {
+
+Model
+makeMobileNet(size_t classes, double widthMult, Rng &rng)
+{
+    Model m;
+    m.net = Network("mobilenet");
+
+    struct BlockPlan
+    {
+        size_t width;
+        size_t stride; //!< stride of the depthwise stage
+    };
+    // The 13 depthwise-separable blocks of MobileNet v1.
+    const BlockPlan plan[] = {{64, 1},   {128, 2}, {128, 1}, {256, 2},
+                              {256, 1},  {512, 2}, {512, 1}, {512, 1},
+                              {512, 1},  {512, 1}, {512, 1}, {1024, 2},
+                              {1024, 1}};
+
+    const size_t stem_width = scaleChannels(32, widthMult);
+    auto *stem = m.net.emplace<Conv2d>("stem", 3, stem_width, 3, 2, 1,
+                                       /*withBias=*/false);
+    auto *stem_bn = m.net.emplace<BatchNorm2d>("stembn", stem_width);
+    auto *stem_relu = m.net.emplace<ReLU>("stemrelu");
+    stem->initKaiming(rng);
+    m.convs.push_back(stem);
+
+    // The stem's outputs are a prunable unit coupled to block 1's
+    // depthwise filters and pointwise inputs.
+    {
+        PruneUnit unit;
+        unit.name = "stem";
+        unit.producer = stem;
+        unit.bn = stem_bn;
+        unit.probe = stem_relu;
+        m.pruneUnits.push_back(unit);
+    }
+
+    size_t cin = stem_width;
+    size_t idx = 0;
+    for (const auto &block : plan) {
+        ++idx;
+        const std::string id = std::to_string(idx);
+        const size_t cout = scaleChannels(block.width, widthMult);
+
+        auto *dw = m.net.emplace<DepthwiseConv2d>("dw" + id, cin, 3,
+                                                  block.stride, 1);
+        auto *dw_bn = m.net.emplace<BatchNorm2d>("dwbn" + id, cin);
+        m.net.emplace<ReLU>("dwrelu" + id);
+        auto *pw = m.net.emplace<Conv2d>("pw" + id, cin, cout, 1, 1, 0,
+                                         /*withBias=*/false);
+        auto *pw_bn = m.net.emplace<BatchNorm2d>("pwbn" + id, cout);
+        auto *pw_relu = m.net.emplace<ReLU>("pwrelu" + id);
+        dw->initKaiming(rng);
+        pw->initKaiming(rng);
+        m.dwConvs.push_back(dw);
+        m.convs.push_back(pw);
+
+        // The previous unit's channels flow through this block's
+        // depthwise stage and into this pointwise conv.
+        PruneUnit &prev = m.pruneUnits.back();
+        prev.coupledDw = dw;
+        prev.coupledDwBn = dw_bn;
+        prev.consumerConv = pw;
+
+        PruneUnit unit;
+        unit.name = "pw" + id;
+        unit.producer = pw;
+        unit.bn = pw_bn;
+        unit.probe = pw_relu;
+        m.pruneUnits.push_back(unit);
+
+        cin = cout;
+    }
+
+    m.net.emplace<GlobalAvgPool>("avgpool");
+    auto *fc = m.net.emplace<Linear>("fc", cin, classes);
+    fc->initKaiming(rng);
+    m.linears.push_back(fc);
+
+    // The last pointwise unit feeds the classifier (1x1 spatial after
+    // global average pooling collapses to one value per channel).
+    m.pruneUnits.back().consumerLinear = fc;
+    m.pruneUnits.back().consumerSpatial = 1;
+
+    return m;
+}
+
+} // namespace dlis

@@ -1,0 +1,80 @@
+#include "nn/models/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dlis {
+
+void
+Model::setFormat(WeightFormat format)
+{
+    for (Conv2d *c : convs)
+        c->setFormat(format);
+    // Linear layers have no packed-ternary kernel; the paper's packed
+    // discussion concerns the convolutional filters, so classifiers
+    // fall back to CSR.
+    const WeightFormat linear_format =
+        format == WeightFormat::PackedTernary ? WeightFormat::Csr
+                                              : format;
+    for (Linear *l : linears)
+        l->setFormat(linear_format);
+}
+
+double
+Model::weightSparsity() const
+{
+    size_t zeros = 0, total = 0;
+    for (const Conv2d *c : convs) {
+        if (c->format() == WeightFormat::Csr) {
+            const auto &bank = c->csrWeight();
+            const size_t full = bank.outChannels() * bank.inChannels() *
+                                bank.kernelH() * bank.kernelW();
+            total += full;
+            zeros += full - bank.nnz();
+        } else if (c->format() == WeightFormat::PackedTernary) {
+            const auto &packed = c->packedWeight();
+            total += packed.numel();
+            zeros += static_cast<size_t>(
+                packed.sparsity() * static_cast<double>(packed.numel()) +
+                0.5);
+        } else {
+            total += c->weight().numel();
+            zeros += c->weight().countZeros();
+        }
+    }
+    for (const Linear *l : linears) {
+        if (l->format() == WeightFormat::Csr) {
+            const auto &m = l->csrWeight();
+            total += m.rows() * m.cols();
+            zeros += m.rows() * m.cols() - m.nnz();
+        } else {
+            total += l->weight().numel();
+            zeros += l->weight().countZeros();
+        }
+    }
+    return total ? static_cast<double>(zeros) / total : 0.0;
+}
+
+size_t
+scaleChannels(size_t channels, double widthMult)
+{
+    const auto scaled = static_cast<size_t>(
+        std::lround(static_cast<double>(channels) * widthMult));
+    return std::max<size_t>(1, scaled);
+}
+
+Model
+makeModel(const std::string &name, size_t classes, double widthMult,
+          Rng &rng)
+{
+    if (name == "vgg16")
+        return makeVgg16(classes, widthMult, rng);
+    if (name == "resnet18")
+        return makeResNet18(classes, widthMult, rng);
+    if (name == "mobilenet")
+        return makeMobileNet(classes, widthMult, rng);
+    fatal("unknown model '", name,
+          "' (expected vgg16, resnet18, or mobilenet)");
+}
+
+} // namespace dlis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Model container: a network plus the structural metadata the
+ * compression techniques need.
+ *
+ * A PruneUnit describes one group of channels that channel pruning can
+ * remove coherently: the convolution that produces them, its batch
+ * norm, the ReLU carrying the Fisher probe, and every consumer whose
+ * weights reference those channels (the next conv's input slices, a
+ * coupled depthwise filter in MobileNet, or the classifier FC).
+ */
+
+#ifndef DLIS_NN_MODELS_MODEL_HPP
+#define DLIS_NN_MODELS_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/network.hpp"
+
+namespace dlis {
+
+/** One coherently-prunable channel group. */
+struct PruneUnit
+{
+    std::string name;
+    Conv2d *producer = nullptr;      //!< conv whose outputs are pruned
+    BatchNorm2d *bn = nullptr;       //!< producer's batch norm
+    ReLU *probe = nullptr;           //!< ReLU holding the Fisher probe
+    DepthwiseConv2d *coupledDw = nullptr; //!< depthwise tied to outputs
+    BatchNorm2d *coupledDwBn = nullptr;   //!< its batch norm
+    Conv2d *consumerConv = nullptr;  //!< next conv (input channels)
+    Linear *consumerLinear = nullptr; //!< classifier consumer
+    size_t consumerSpatial = 1;      //!< h*w at the linear's input
+};
+
+/** A built model: network + compression metadata. */
+struct Model
+{
+    Network net;
+    std::vector<PruneUnit> pruneUnits;
+    std::vector<Conv2d *> convs;         //!< all standard convolutions
+    std::vector<DepthwiseConv2d *> dwConvs; //!< depthwise convolutions
+    std::vector<Linear *> linears;       //!< fully-connected layers
+
+    /** Switch every conv and linear to the given weight format. */
+    void setFormat(WeightFormat format);
+
+    /**
+     * Fraction of zero weights across prunable tensors (conv + linear
+     * weight matrices; depthwise and norms excluded, as in the paper's
+     * sparsity accounting).
+     */
+    double weightSparsity() const;
+
+    /** Total parameters across the whole network. */
+    size_t parameterCount() { return net.parameterCount(); }
+};
+
+/** Scale a channel count by a width multiplier (min 1). */
+size_t scaleChannels(size_t channels, double widthMult);
+
+/**
+ * Build VGG-16 adapted for CIFAR-10 (paper §IV-A): 13 conv layers,
+ * max-pool after layers {2,4,7,10,13}, classifier 512 -> 512 -> classes.
+ *
+ * @param classes   output classes (10 for CIFAR-10)
+ * @param widthMult channel width multiplier (1.0 = paper scale)
+ * @param rng       weight initialisation stream
+ */
+Model makeVgg16(size_t classes, double widthMult, Rng &rng);
+
+/** Build ResNet-18 for CIFAR-10: 8 basic blocks, widths 64..512. */
+Model makeResNet18(size_t classes, double widthMult, Rng &rng);
+
+/**
+ * Build MobileNet (original ImageNet definition with a @p classes-way
+ * classifier, paper §IV-A): 27 conv layers alternating depthwise 3x3
+ * and pointwise 1x1.
+ */
+Model makeMobileNet(size_t classes, double widthMult, Rng &rng);
+
+/** Build a model by name: "vgg16", "resnet18", "mobilenet". */
+Model makeModel(const std::string &name, size_t classes,
+                double widthMult, Rng &rng);
+
+} // namespace dlis
+
+#endif // DLIS_NN_MODELS_MODEL_HPP

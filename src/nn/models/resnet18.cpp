@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ResNet-18 for CIFAR-10 (paper §IV-A): a 3x3 stem and eight basic
+ * blocks (widths 64/128/256/512, two blocks per stage), global average
+ * pooling, and a linear classifier.
+ */
+
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual_block.hpp"
+
+namespace dlis {
+
+Model
+makeResNet18(size_t classes, double widthMult, Rng &rng)
+{
+    Model m;
+    m.net = Network("resnet18");
+
+    const size_t w64 = scaleChannels(64, widthMult);
+    const size_t w128 = scaleChannels(128, widthMult);
+    const size_t w256 = scaleChannels(256, widthMult);
+    const size_t w512 = scaleChannels(512, widthMult);
+
+    auto *stem = m.net.emplace<Conv2d>("stem", 3, w64, 3, 1, 1,
+                                       /*withBias=*/false);
+    m.net.emplace<BatchNorm2d>("stembn", w64);
+    m.net.emplace<ReLU>("stemrelu");
+    stem->initKaiming(rng);
+    m.convs.push_back(stem);
+
+    struct StagePlan
+    {
+        size_t width;
+        size_t stride;
+    };
+    const StagePlan plan[] = {{w64, 1},  {w64, 1},  {w128, 2},
+                              {w128, 1}, {w256, 2}, {w256, 1},
+                              {w512, 2}, {w512, 1}};
+
+    size_t cin = w64;
+    size_t idx = 0;
+    for (const auto &stage : plan) {
+        ++idx;
+        auto *block = m.net.emplace<ResidualBlock>(
+            "block" + std::to_string(idx), cin, stage.width,
+            stage.stride);
+        block->initKaiming(rng);
+        m.convs.push_back(&block->conv1());
+        m.convs.push_back(&block->conv2());
+        if (block->projection())
+            m.convs.push_back(block->projection());
+
+        // Only conv1's outputs are prunable — they stay inside the
+        // block; conv2 must restore the trunk width for the add.
+        PruneUnit unit;
+        unit.name = block->name() + ".conv1";
+        unit.producer = &block->conv1();
+        unit.bn = &block->bn1();
+        unit.probe = &block->relu1();
+        unit.consumerConv = &block->conv2();
+        m.pruneUnits.push_back(unit);
+
+        cin = stage.width;
+    }
+
+    m.net.emplace<GlobalAvgPool>("avgpool");
+    auto *fc = m.net.emplace<Linear>("fc", cin, classes);
+    fc->initKaiming(rng);
+    m.linears.push_back(fc);
+
+    return m;
+}
+
+} // namespace dlis

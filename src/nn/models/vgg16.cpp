@@ -1,0 +1,70 @@
+/**
+ * @file
+ * VGG-16 truncated for CIFAR-10 (paper §IV-A).
+ */
+
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+
+namespace dlis {
+
+Model
+makeVgg16(size_t classes, double widthMult, Rng &rng)
+{
+    // 13 convolutions; 0 marks a max-pool position.
+    static const size_t plan[] = {64, 64, 0, 128, 128, 0, 256, 256, 256,
+                                  0, 512, 512, 512, 0, 512, 512, 512, 0};
+
+    Model m;
+    m.net = Network("vgg16");
+
+    size_t cin = 3;
+    size_t conv_idx = 0;
+    std::vector<ReLU *> relus;
+    for (size_t entry : plan) {
+        if (entry == 0) {
+            m.net.emplace<MaxPool2d>(
+                "pool" + std::to_string(conv_idx), 2);
+            continue;
+        }
+        ++conv_idx;
+        const size_t cout = scaleChannels(entry, widthMult);
+        const std::string id = std::to_string(conv_idx);
+        auto *conv = m.net.emplace<Conv2d>("conv" + id, cin, cout, 3, 1,
+                                           1, /*withBias=*/false);
+        auto *bn = m.net.emplace<BatchNorm2d>("bn" + id, cout);
+        auto *relu = m.net.emplace<ReLU>("relu" + id);
+        conv->initKaiming(rng);
+        m.convs.push_back(conv);
+        relus.push_back(relu);
+
+        PruneUnit unit;
+        unit.name = "conv" + id;
+        unit.producer = conv;
+        unit.bn = bn;
+        unit.probe = relu;
+        m.pruneUnits.push_back(unit);
+        cin = cout;
+    }
+
+    m.net.emplace<Flatten>("flatten");
+    const size_t hidden = scaleChannels(512, widthMult);
+    auto *fc1 = m.net.emplace<Linear>("fc1", cin, hidden);
+    m.net.emplace<ReLU>("fc1relu");
+    auto *fc2 = m.net.emplace<Linear>("fc2", hidden, classes);
+    fc1->initKaiming(rng);
+    fc2->initKaiming(rng);
+    m.linears.push_back(fc1);
+    m.linears.push_back(fc2);
+
+    // Wire consumers: conv i feeds conv i+1; conv13 feeds fc1 (input
+    // spatial is 1x1 after the fifth pool).
+    for (size_t i = 0; i + 1 < m.pruneUnits.size(); ++i)
+        m.pruneUnits[i].consumerConv = m.pruneUnits[i + 1].producer;
+    m.pruneUnits.back().consumerLinear = fc1;
+    m.pruneUnits.back().consumerSpatial = 1;
+
+    return m;
+}
+
+} // namespace dlis

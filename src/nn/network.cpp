@@ -1,0 +1,124 @@
+#include "nn/network.hpp"
+
+#include <chrono>
+
+namespace dlis {
+
+Layer *
+Network::add(LayerPtr layer)
+{
+    layers_.push_back(std::move(layer));
+    return layers_.back().get();
+}
+
+Layer &
+Network::layer(size_t i)
+{
+    DLIS_CHECK(i < layers_.size(), "layer index ", i,
+               " out of range for ", layers_.size(), " layers");
+    return *layers_[i];
+}
+
+void
+Network::eraseLayer(size_t i)
+{
+    DLIS_CHECK(i < layers_.size(), "layer index ", i,
+               " out of range for ", layers_.size(), " layers");
+    layers_.erase(layers_.begin() + static_cast<ptrdiff_t>(i));
+}
+
+Tensor
+Network::forward(const Tensor &input, ExecContext &ctx)
+{
+    Tensor x = input;
+    for (auto &layer : layers_)
+        x = layer->forward(x, ctx);
+    return x;
+}
+
+Tensor
+Network::forwardProfiled(const Tensor &input, ExecContext &ctx,
+                         std::vector<LayerTiming> &timings)
+{
+    timings.clear();
+    timings.reserve(layers_.size());
+    Tensor x = input;
+    for (auto &layer : layers_) {
+        const auto t0 = std::chrono::steady_clock::now();
+        x = layer->forward(x, ctx);
+        const auto t1 = std::chrono::steady_clock::now();
+        timings.push_back(
+            {layer->name(),
+             std::chrono::duration<double>(t1 - t0).count()});
+    }
+    return x;
+}
+
+Tensor
+Network::backward(const Tensor &gradLogits, ExecContext &ctx)
+{
+    Tensor g = gradLogits;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g, ctx);
+    return g;
+}
+
+std::vector<Tensor *>
+Network::parameters()
+{
+    std::vector<Tensor *> out;
+    for (auto &layer : layers_)
+        for (Tensor *p : layer->parameters())
+            out.push_back(p);
+    return out;
+}
+
+std::vector<Tensor *>
+Network::gradients()
+{
+    std::vector<Tensor *> out;
+    for (auto &layer : layers_)
+        for (Tensor *g : layer->gradients())
+            out.push_back(g);
+    return out;
+}
+
+void
+Network::zeroGrad()
+{
+    for (auto &layer : layers_)
+        layer->zeroGrad();
+}
+
+size_t
+Network::parameterCount()
+{
+    size_t n = 0;
+    for (auto &layer : layers_)
+        n += layer->parameterCount();
+    return n;
+}
+
+std::vector<LayerCost>
+Network::costs(const Shape &input) const
+{
+    std::vector<LayerCost> out;
+    out.reserve(layers_.size());
+    Shape s = input;
+    for (const auto &layer : layers_) {
+        out.push_back(layer->cost(s));
+        s = layer->outputShape(s);
+    }
+    return out;
+}
+
+Shape
+Network::outputShape(const Shape &input) const
+{
+    Shape s = input;
+    for (const auto &layer : layers_)
+        s = layer->outputShape(s);
+    return s;
+}
+
+} // namespace dlis

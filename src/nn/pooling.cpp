@@ -1,0 +1,154 @@
+#include "nn/pooling.hpp"
+
+#include "backend/elementwise_kernels.hpp"
+
+namespace dlis {
+
+MaxPool2d::MaxPool2d(std::string name, size_t kernel)
+    : Layer(std::move(name)), kernel_(kernel)
+{
+    DLIS_CHECK(kernel > 0, "pool kernel must be positive");
+}
+
+Shape
+MaxPool2d::outputShape(const Shape &input) const
+{
+    DLIS_CHECK(input.rank() == 4, "maxpool expects NCHW, got ",
+               input.str());
+    DLIS_CHECK(input.h() % kernel_ == 0 && input.w() % kernel_ == 0,
+               "maxpool '", name_, "' kernel ", kernel_,
+               " does not divide ", input.str());
+    return Shape{input.n(), input.c(), input.h() / kernel_,
+                 input.w() / kernel_};
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &input, ExecContext &ctx)
+{
+    if (ctx.training)
+        cachedInput_ = input;
+    const Shape &s = input.shape();
+    Tensor out(outputShape(s));
+    kernels::maxPool(input.data(), out.data(), s.n(), s.c(), s.h(),
+                     s.w(), kernel_, ctx.policy());
+    return out;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &gradOut, ExecContext &ctx)
+{
+    (void)ctx;
+    DLIS_CHECK(cachedInput_.numel() > 0,
+               "backward without training-mode forward in '", name_,
+               "'");
+    const Shape &s = cachedInput_.shape();
+    const size_t ho = s.h() / kernel_, wo = s.w() / kernel_;
+    Tensor gradIn(s);
+    for (size_t img = 0; img < s.n(); ++img) {
+        for (size_t ch = 0; ch < s.c(); ++ch) {
+            const float *in = cachedInput_.data() +
+                              (img * s.c() + ch) * s.h() * s.w();
+            const float *go =
+                gradOut.data() + (img * s.c() + ch) * ho * wo;
+            float *gi =
+                gradIn.data() + (img * s.c() + ch) * s.h() * s.w();
+            for (size_t oy = 0; oy < ho; ++oy) {
+                for (size_t ox = 0; ox < wo; ++ox) {
+                    // Route the gradient to the argmax element.
+                    size_t best_y = oy * kernel_, best_x = ox * kernel_;
+                    float best = in[best_y * s.w() + best_x];
+                    for (size_t ky = 0; ky < kernel_; ++ky) {
+                        for (size_t kx = 0; kx < kernel_; ++kx) {
+                            const size_t y = oy * kernel_ + ky;
+                            const size_t x = ox * kernel_ + kx;
+                            if (in[y * s.w() + x] > best) {
+                                best = in[y * s.w() + x];
+                                best_y = y;
+                                best_x = x;
+                            }
+                        }
+                    }
+                    gi[best_y * s.w() + best_x] += go[oy * wo + ox];
+                }
+            }
+        }
+    }
+    return gradIn;
+}
+
+GlobalAvgPool::GlobalAvgPool(std::string name)
+    : Layer(std::move(name))
+{}
+
+Shape
+GlobalAvgPool::outputShape(const Shape &input) const
+{
+    DLIS_CHECK(input.rank() == 4, "global avgpool expects NCHW, got ",
+               input.str());
+    return Shape{input.n(), input.c()};
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &input, ExecContext &ctx)
+{
+    if (ctx.training)
+        cachedInputShape_ = input.shape();
+    const Shape &s = input.shape();
+    Tensor out(outputShape(s));
+    kernels::globalAvgPool(input.data(), out.data(), s.n(), s.c(),
+                           s.h() * s.w(), ctx.policy());
+    return out;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &gradOut, ExecContext &ctx)
+{
+    (void)ctx;
+    DLIS_CHECK(cachedInputShape_.rank() == 4,
+               "backward without training-mode forward in '", name_,
+               "'");
+    const Shape &s = cachedInputShape_;
+    const size_t hw = s.h() * s.w();
+    const float inv = 1.0f / static_cast<float>(hw);
+    Tensor gradIn(s);
+    for (size_t img = 0; img < s.n(); ++img) {
+        for (size_t ch = 0; ch < s.c(); ++ch) {
+            const float g = gradOut[img * s.c() + ch] * inv;
+            float *gi = gradIn.data() + (img * s.c() + ch) * hw;
+            for (size_t i = 0; i < hw; ++i)
+                gi[i] = g;
+        }
+    }
+    return gradIn;
+}
+
+Flatten::Flatten(std::string name)
+    : Layer(std::move(name))
+{}
+
+Shape
+Flatten::outputShape(const Shape &input) const
+{
+    DLIS_CHECK(input.rank() >= 2, "flatten needs a batched input");
+    return Shape{input[0], input.numel() / input[0]};
+}
+
+Tensor
+Flatten::forward(const Tensor &input, ExecContext &ctx)
+{
+    if (ctx.training)
+        cachedInputShape_ = input.shape();
+    return input.reshaped(outputShape(input.shape()));
+}
+
+Tensor
+Flatten::backward(const Tensor &gradOut, ExecContext &ctx)
+{
+    (void)ctx;
+    DLIS_CHECK(cachedInputShape_.rank() > 0,
+               "backward without training-mode forward in '", name_,
+               "'");
+    return gradOut.reshaped(cachedInputShape_);
+}
+
+} // namespace dlis

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Pooling layers: max pooling and global average pooling.
+ */
+
+#ifndef DLIS_NN_POOLING_HPP
+#define DLIS_NN_POOLING_HPP
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dlis {
+
+/** k x k max pooling with stride k (the VGG/paper configuration). */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(std::string name, size_t kernel);
+
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input, ExecContext &ctx) override;
+    Tensor backward(const Tensor &gradOut, ExecContext &ctx) override;
+
+  private:
+    size_t kernel_;
+    Tensor cachedInput_;
+};
+
+/** Global average pooling: NCHW -> [N, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name);
+
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input, ExecContext &ctx) override;
+    Tensor backward(const Tensor &gradOut, ExecContext &ctx) override;
+
+  private:
+    Shape cachedInputShape_;
+};
+
+/** Collapse NCHW to [N, C*H*W] for a following Linear layer. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name);
+
+    Shape outputShape(const Shape &input) const override;
+    Tensor forward(const Tensor &input, ExecContext &ctx) override;
+    Tensor backward(const Tensor &gradOut, ExecContext &ctx) override;
+
+  private:
+    Shape cachedInputShape_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_NN_POOLING_HPP

@@ -1,0 +1,87 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace dlis {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x444C4953; // "DLIS"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void
+writeScalar(std::ofstream &out, T value)
+{
+    out.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readScalar(std::ifstream &in)
+{
+    T value{};
+    in.read(reinterpret_cast<char *>(&value), sizeof(T));
+    DLIS_CHECK(in.good(), "checkpoint truncated");
+    return value;
+}
+
+} // namespace
+
+void
+saveParameters(Network &net, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    DLIS_CHECK(out.good(), "cannot open '", path, "' for writing");
+
+    const auto params = net.parameters();
+    writeScalar(out, kMagic);
+    writeScalar(out, kVersion);
+    writeScalar(out, static_cast<uint64_t>(params.size()));
+    for (const Tensor *p : params) {
+        writeScalar(out, static_cast<uint32_t>(p->shape().rank()));
+        for (size_t d = 0; d < p->shape().rank(); ++d)
+            writeScalar(out, static_cast<uint64_t>(p->shape()[d]));
+        out.write(reinterpret_cast<const char *>(p->data()),
+                  static_cast<std::streamsize>(p->bytes()));
+    }
+    DLIS_CHECK(out.good(), "write to '", path, "' failed");
+}
+
+void
+loadParameters(Network &net, const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    DLIS_CHECK(in.good(), "cannot open '", path, "' for reading");
+
+    DLIS_CHECK(readScalar<uint32_t>(in) == kMagic,
+               "'", path, "' is not a dlis checkpoint");
+    const uint32_t version = readScalar<uint32_t>(in);
+    DLIS_CHECK(version == kVersion, "unsupported checkpoint version ",
+               version);
+
+    const auto params = net.parameters();
+    const auto count = readScalar<uint64_t>(in);
+    DLIS_CHECK(count == params.size(), "checkpoint has ", count,
+               " tensors, network expects ", params.size());
+
+    for (Tensor *p : params) {
+        const auto rank = readScalar<uint32_t>(in);
+        DLIS_CHECK(rank == p->shape().rank(),
+                   "checkpoint tensor rank ", rank,
+                   " does not match network rank ", p->shape().rank());
+        std::vector<size_t> dims(rank);
+        for (auto &d : dims)
+            d = static_cast<size_t>(readScalar<uint64_t>(in));
+        DLIS_CHECK(Shape(dims) == p->shape(),
+                   "checkpoint tensor shape ", Shape(dims).str(),
+                   " does not match network shape ",
+                   p->shape().str());
+        in.read(reinterpret_cast<char *>(p->data()),
+                static_cast<std::streamsize>(p->bytes()));
+        DLIS_CHECK(in.good(), "checkpoint truncated");
+    }
+}
+
+} // namespace dlis

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Model parameter serialisation.
+ *
+ * A minimal binary checkpoint format so trained / compressed models
+ * can be shipped and reloaded: magic + version header, then every
+ * parameter tensor in network order as (rank, dims..., float payload).
+ * Loading validates shapes against the receiving network, so a
+ * checkpoint can only be restored into a structurally identical model
+ * (including one that was channel-pruned the same way).
+ */
+
+#ifndef DLIS_NN_SERIALIZE_HPP
+#define DLIS_NN_SERIALIZE_HPP
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace dlis {
+
+/** Write every parameter of @p net to @p path. */
+void saveParameters(Network &net, const std::string &path);
+
+/**
+ * Restore parameters saved with saveParameters into @p net.
+ * Throws FatalError on missing file, bad magic, or shape mismatch.
+ */
+void loadParameters(Network &net, const std::string &path);
+
+} // namespace dlis
+
+#endif // DLIS_NN_SERIALIZE_HPP

@@ -1,0 +1,51 @@
+#include "nn/shape_walk.hpp"
+
+#include "nn/residual_block.hpp"
+
+namespace dlis {
+
+std::map<const Layer *, Shape>
+collectInputShapes(const Network &net, const Shape &input)
+{
+    std::map<const Layer *, Shape> shapes;
+    Shape s = input;
+    for (const auto &layer : net.layers()) {
+        shapes[layer.get()] = s;
+        if (const auto *block =
+                dynamic_cast<const ResidualBlock *>(layer.get())) {
+            auto *mut = const_cast<ResidualBlock *>(block);
+            Shape inner = s;
+            shapes[&mut->conv1()] = inner;
+            inner = mut->conv1().outputShape(inner);
+            shapes[&mut->bn1()] = inner;
+            shapes[&mut->relu1()] = inner;
+            shapes[&mut->conv2()] = inner;
+            inner = mut->conv2().outputShape(inner);
+            shapes[&mut->bn2()] = inner;
+            if (mut->projection())
+                shapes[mut->projection()] = s;
+        }
+        s = layer->outputShape(s);
+    }
+    return shapes;
+}
+
+std::vector<LayerCost>
+collectStageCosts(const Network &net, const Shape &input)
+{
+    std::vector<LayerCost> costs;
+    Shape s = input;
+    for (const auto &layer : net.layers()) {
+        if (const auto *block =
+                dynamic_cast<const ResidualBlock *>(layer.get())) {
+            for (LayerCost &c : block->stageCosts(s))
+                costs.push_back(std::move(c));
+        } else {
+            costs.push_back(layer->cost(s));
+        }
+        s = layer->outputShape(s);
+    }
+    return costs;
+}
+
+} // namespace dlis

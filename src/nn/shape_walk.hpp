@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Input-shape mapping for every layer in a network, including the
+ * layers nested inside composite residual blocks. Used by the Fisher
+ * pruner's FLOP accounting and by the hardware cost model's per-stage
+ * breakdown.
+ */
+
+#ifndef DLIS_NN_SHAPE_WALK_HPP
+#define DLIS_NN_SHAPE_WALK_HPP
+
+#include <map>
+
+#include "nn/network.hpp"
+
+namespace dlis {
+
+/**
+ * Walk @p net with an input of shape @p input and return the input
+ * shape seen by every layer (composite blocks contribute their
+ * internal layers as well).
+ */
+std::map<const Layer *, Shape> collectInputShapes(const Network &net,
+                                                  const Shape &input);
+
+/**
+ * Per-sync-point cost list: like Network::costs but with residual
+ * blocks expanded into their internal stages, which is what the
+ * per-layer synchronisation overhead model needs.
+ */
+std::vector<LayerCost> collectStageCosts(const Network &net,
+                                         const Shape &input);
+
+} // namespace dlis
+
+#endif // DLIS_NN_SHAPE_WALK_HPP

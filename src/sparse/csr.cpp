@@ -1,0 +1,117 @@
+#include "sparse/csr.hpp"
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+CsrMatrix
+CsrMatrix::fromDense(const float *dense, size_t rows, size_t cols)
+{
+    CsrMatrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.rowPtr_.reserve(rows + 1);
+    m.rowPtr_.push_back(0);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c) {
+            const float v = dense[r * cols + c];
+            if (v != 0.0f) {
+                m.colIdx_.push_back(static_cast<int32_t>(c));
+                m.values_.push_back(v);
+            }
+        }
+        m.rowPtr_.push_back(static_cast<int32_t>(m.values_.size()));
+    }
+    m.retrack();
+    return m;
+}
+
+CsrMatrix
+CsrMatrix::fromDense(const Tensor &dense)
+{
+    DLIS_CHECK(dense.shape().rank() == 2,
+               "fromDense needs a rank-2 tensor, got ",
+               dense.shape().str());
+    return fromDense(dense.data(), dense.shape()[0], dense.shape()[1]);
+}
+
+CsrMatrix
+CsrMatrix::fromFilter(const Tensor &filter)
+{
+    DLIS_CHECK(filter.shape().rank() == 4,
+               "fromFilter needs an OIHW tensor, got ",
+               filter.shape().str());
+    const auto &d = filter.shape().dims();
+    return fromDense(filter.data(), d[0], d[1] * d[2] * d[3]);
+}
+
+Tensor
+CsrMatrix::toDense() const
+{
+    Tensor out(Shape{rows_, cols_}, MemClass::Weights);
+    for (size_t r = 0; r < rows_; ++r) {
+        for (int32_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            out[r * cols_ + static_cast<size_t>(colIdx_[k])] = values_[k];
+    }
+    return out;
+}
+
+double
+CsrMatrix::sparsity() const
+{
+    const size_t total = rows_ * cols_;
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+size_t
+CsrMatrix::storageBytes() const
+{
+    return values_.size() * sizeof(float) + metadataBytes();
+}
+
+size_t
+CsrMatrix::metadataBytes() const
+{
+    return colIdx_.size() * sizeof(int32_t) +
+           rowPtr_.size() * sizeof(int32_t);
+}
+
+void
+CsrMatrix::spmv(const float *x, float *y) const
+{
+    for (size_t r = 0; r < rows_; ++r) {
+        float acc = 0.0f;
+        for (int32_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+            acc += values_[k] * x[colIdx_[k]];
+        y[r] = acc;
+    }
+}
+
+void
+CsrMatrix::spmm(const float *b, float *c, size_t n) const
+{
+    for (size_t r = 0; r < rows_; ++r) {
+        float *crow = c + r * n;
+        for (size_t j = 0; j < n; ++j)
+            crow[j] = 0.0f;
+        for (int32_t k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+            const float v = values_[k];
+            const float *brow =
+                b + static_cast<size_t>(colIdx_[k]) * n;
+            for (size_t j = 0; j < n; ++j)
+                crow[j] += v * brow[j];
+        }
+    }
+}
+
+void
+CsrMatrix::retrack()
+{
+    trackedMeta_ = TrackedBytes(MemClass::SparseMeta, metadataBytes());
+    trackedValues_ =
+        TrackedBytes(MemClass::Weights, values_.size() * sizeof(float));
+}
+
+} // namespace dlis

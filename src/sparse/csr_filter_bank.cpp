@@ -1,0 +1,106 @@
+#include "sparse/csr_filter_bank.hpp"
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+CsrFilterBank
+CsrFilterBank::fromFilter(const Tensor &oihw)
+{
+    DLIS_CHECK(oihw.shape().rank() == 4,
+               "filter bank needs an OIHW tensor, got ",
+               oihw.shape().str());
+    const auto &d = oihw.shape().dims();
+
+    CsrFilterBank bank;
+    bank.cout_ = d[0];
+    bank.cin_ = d[1];
+    bank.kh_ = d[2];
+    bank.kw_ = d[3];
+    bank.slices_.resize(bank.cout_ * bank.cin_);
+
+    const size_t kk = bank.kh_ * bank.kw_;
+    for (size_t oc = 0; oc < bank.cout_; ++oc) {
+        for (size_t ci = 0; ci < bank.cin_; ++ci) {
+            const float *w = oihw.data() + (oc * bank.cin_ + ci) * kk;
+            CsrSlice &s = bank.slices_[oc * bank.cin_ + ci];
+            s.rowPtr.reserve(bank.kh_ + 1);
+            s.rowPtr.push_back(0);
+            for (size_t ky = 0; ky < bank.kh_; ++ky) {
+                for (size_t kx = 0; kx < bank.kw_; ++kx) {
+                    const float v = w[ky * bank.kw_ + kx];
+                    if (v != 0.0f) {
+                        s.colIdx.push_back(static_cast<int32_t>(kx));
+                        s.values.push_back(v);
+                    }
+                }
+                s.rowPtr.push_back(
+                    static_cast<int32_t>(s.values.size()));
+            }
+        }
+    }
+    bank.trackedValues_ =
+        TrackedBytes(MemClass::Weights, bank.nnz() * sizeof(float));
+    bank.trackedMeta_ =
+        TrackedBytes(MemClass::SparseMeta, bank.metadataBytes());
+    return bank;
+}
+
+Tensor
+CsrFilterBank::toDense() const
+{
+    Tensor out(Shape{cout_, cin_, kh_, kw_}, MemClass::Weights);
+    const size_t kk = kh_ * kw_;
+    for (size_t oc = 0; oc < cout_; ++oc) {
+        for (size_t ci = 0; ci < cin_; ++ci) {
+            const CsrSlice &s = slices_[oc * cin_ + ci];
+            float *w = out.data() + (oc * cin_ + ci) * kk;
+            for (size_t ky = 0; ky < kh_; ++ky) {
+                for (int32_t k = s.rowPtr[ky]; k < s.rowPtr[ky + 1];
+                     ++k) {
+                    w[ky * kw_ + static_cast<size_t>(s.colIdx[k])] =
+                        s.values[k];
+                }
+            }
+        }
+    }
+    return out;
+}
+
+size_t
+CsrFilterBank::nnz() const
+{
+    size_t total = 0;
+    for (const auto &s : slices_)
+        total += s.nnz();
+    return total;
+}
+
+double
+CsrFilterBank::sparsity() const
+{
+    const size_t total = cout_ * cin_ * kh_ * kw_;
+    if (total == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(nnz()) / static_cast<double>(total);
+}
+
+size_t
+CsrFilterBank::storageBytes() const
+{
+    return nnz() * sizeof(float) + metadataBytes();
+}
+
+size_t
+CsrFilterBank::metadataBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &s : slices_) {
+        bytes += s.rowPtr.size() * sizeof(int32_t) +
+                 s.colIdx.size() * sizeof(int32_t) +
+                 perSliceOverheadBytes;
+    }
+    return bytes;
+}
+
+} // namespace dlis

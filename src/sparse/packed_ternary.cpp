@@ -1,0 +1,73 @@
+#include "sparse/packed_ternary.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+PackedTernary
+PackedTernary::pack(const Tensor &dense)
+{
+    PackedTernary p;
+    p.shape_ = dense.shape();
+    p.count_ = dense.numel();
+    p.words_.assign((p.count_ + 3) / 4, 0);
+
+    // Discover the scales from the data.
+    for (size_t i = 0; i < p.count_; ++i) {
+        const float v = dense[i];
+        if (v > 0.0f) {
+            DLIS_CHECK(p.wp_ == 0.0f || p.wp_ == v,
+                       "tensor is not ternary: positive values ",
+                       p.wp_, " and ", v);
+            p.wp_ = v;
+        } else if (v < 0.0f) {
+            DLIS_CHECK(p.wn_ == 0.0f || p.wn_ == -v,
+                       "tensor is not ternary: negative values ",
+                       -p.wn_, " and ", v);
+            p.wn_ = -v;
+        }
+    }
+    for (size_t i = 0; i < p.count_; ++i) {
+        const float v = dense[i];
+        uint8_t code = 0;
+        if (v > 0.0f)
+            code = 1;
+        else if (v < 0.0f)
+            code = 2;
+        p.words_[i >> 2] |=
+            static_cast<uint8_t>(code << ((i & 3) * 2));
+    }
+    p.tracked_ = TrackedBytes(MemClass::Weights, p.storageBytes());
+    return p;
+}
+
+Tensor
+PackedTernary::toDense() const
+{
+    Tensor out(shape_, MemClass::Weights);
+    for (size_t i = 0; i < count_; ++i)
+        out[i] = decode(i);
+    return out;
+}
+
+size_t
+PackedTernary::storageBytes() const
+{
+    return words_.size() + 2 * sizeof(float);
+}
+
+double
+PackedTernary::sparsity() const
+{
+    if (count_ == 0)
+        return 0.0;
+    size_t zeros = 0;
+    for (size_t i = 0; i < count_; ++i)
+        if (decode(i) == 0.0f)
+            ++zeros;
+    return static_cast<double>(zeros) / static_cast<double>(count_);
+}
+
+} // namespace dlis

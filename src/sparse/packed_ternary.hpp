@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Bit-packed ternary weights: 2 bits per weight + 2 float scales.
+ *
+ * The paper declined this format for its headline results: "Through
+ * hashing at the level of bits, the memory requirement for
+ * quantisation could be an order of magnitude smaller although the
+ * inference time would also increase" (§V-D). We implement it so that
+ * trade-off can be measured instead of asserted — see
+ * bench/ablation_ternary_packing and the PackedTernary weight format
+ * of Conv2d.
+ *
+ * Encoding per weight: 00 -> 0, 01 -> +Wp, 10 -> -Wn.
+ */
+
+#ifndef DLIS_SPARSE_PACKED_TERNARY_HPP
+#define DLIS_SPARSE_PACKED_TERNARY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/memory_tracker.hpp"
+#include "core/tensor.hpp"
+
+namespace dlis {
+
+/** A 2-bit-per-weight ternary tensor. */
+class PackedTernary
+{
+  public:
+    PackedTernary() = default;
+
+    /**
+     * Pack a ternary-valued dense tensor. Every element must be one of
+     * {0, +wp, -wn} for a single (wp, wn) pair per tensor — i.e. the
+     * output of TTQ quantisation.
+     */
+    static PackedTernary pack(const Tensor &ternaryDense);
+
+    /** Original tensor shape. */
+    const Shape &shape() const { return shape_; }
+
+    /** Per-layer positive / negative scales. */
+    float wp() const { return wp_; }
+    float wn() const { return wn_; }
+
+    /** Decode element @p i back to its float value. */
+    float
+    decode(size_t i) const
+    {
+        const uint8_t code =
+            (words_[i >> 2] >> ((i & 3) * 2)) & 0x3;
+        // Branch-free-ish decode: code 1 -> +wp, code 2 -> -wn.
+        return code == 1 ? wp_ : (code == 2 ? -wn_ : 0.0f);
+    }
+
+    /** Expand back to a dense tensor. */
+    Tensor toDense() const;
+
+    /** Total elements. */
+    size_t numel() const { return count_; }
+
+    /** Storage bytes: ceil(2 bits * numel / 8) + the two scales. */
+    size_t storageBytes() const;
+
+    /** Fraction of zero codes. */
+    double sparsity() const;
+
+  private:
+    Shape shape_;
+    size_t count_ = 0;
+    std::vector<uint8_t> words_; //!< 4 codes per byte
+    float wp_ = 0.0f;
+    float wn_ = 0.0f;
+    TrackedBytes tracked_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_SPARSE_PACKED_TERNARY_HPP

@@ -1,0 +1,105 @@
+#include "sparse/ternary.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+TernaryWeights
+TernaryWeights::quantise(const Tensor &dense, double threshold)
+{
+    DLIS_CHECK(threshold >= 0.0 && threshold <= 1.0,
+               "TTQ threshold must be in [0, 1], got ", threshold);
+    TernaryWeights t;
+    t.shape_ = dense.shape();
+    t.signs_.resize(dense.numel());
+
+    float max_abs = 0.0f;
+    for (size_t i = 0; i < dense.numel(); ++i)
+        max_abs = std::max(max_abs, std::fabs(dense[i]));
+
+    const float cut = static_cast<float>(threshold) * max_abs;
+    double pos_sum = 0.0, neg_sum = 0.0;
+    for (size_t i = 0; i < dense.numel(); ++i) {
+        const float v = dense[i];
+        if (v > cut) {
+            t.signs_[i] = 1;
+            ++t.posCount_;
+            pos_sum += v;
+        } else if (v < -cut) {
+            t.signs_[i] = -1;
+            ++t.negCount_;
+            neg_sum += -v;
+        } else {
+            t.signs_[i] = 0;
+        }
+    }
+    // TTQ initialises the scales to the mean magnitude of the retained
+    // weights; training fine-tunes them afterwards.
+    t.wp_ = t.posCount_ ? static_cast<float>(pos_sum / t.posCount_) : 0.0f;
+    t.wn_ = t.negCount_ ? static_cast<float>(neg_sum / t.negCount_) : 0.0f;
+    t.tracked_ = TrackedBytes(MemClass::Weights,
+                              t.signs_.size() * sizeof(int8_t));
+    return t;
+}
+
+void
+TernaryWeights::setScales(float wp, float wn)
+{
+    DLIS_CHECK(wp >= 0.0f && wn >= 0.0f,
+               "TTQ scales must be non-negative, got wp=", wp, " wn=", wn);
+    wp_ = wp;
+    wn_ = wn;
+}
+
+double
+TernaryWeights::sparsity() const
+{
+    if (signs_.empty())
+        return 0.0;
+    const size_t zeros = signs_.size() - posCount_ - negCount_;
+    return static_cast<double>(zeros) /
+           static_cast<double>(signs_.size());
+}
+
+Tensor
+TernaryWeights::toDense() const
+{
+    Tensor out(shape_, MemClass::Weights);
+    for (size_t i = 0; i < signs_.size(); ++i) {
+        if (signs_[i] > 0)
+            out[i] = wp_;
+        else if (signs_[i] < 0)
+            out[i] = -wn_;
+    }
+    return out;
+}
+
+CsrMatrix
+TernaryWeights::toCsr() const
+{
+    const Tensor dense = toDense();
+    const size_t rows = shape_.rank() ? shape_[0] : 1;
+    const size_t cols = rows ? dense.numel() / rows : 0;
+    return CsrMatrix::fromDense(dense.data(), rows, cols);
+}
+
+size_t
+TernaryWeights::csrBytes() const
+{
+    // nnz * (value + colIdx) + (rows + 1) * rowPtr
+    const size_t nnz = posCount_ + negCount_;
+    const size_t rows = shape_.rank() ? shape_[0] : 1;
+    return nnz * (sizeof(float) + sizeof(int32_t)) +
+           (rows + 1) * sizeof(int32_t);
+}
+
+size_t
+TernaryWeights::packedBytes() const
+{
+    // 2 bits per weight, rounded up, plus the two float scales.
+    return (signs_.size() * 2 + 7) / 8 + 2 * sizeof(float);
+}
+
+} // namespace dlis

@@ -1,0 +1,51 @@
+#include "stack/baselines.hpp"
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+double
+paperBaselineAccuracy(const std::string &model)
+{
+    if (model == "vgg16")
+        return 0.9220;
+    if (model == "resnet18")
+        return 0.9432;
+    if (model == "mobilenet")
+        return 0.9047;
+    fatal("unknown model '", model, "'");
+}
+
+BaselineRates
+tableIII(const std::string &model)
+{
+    if (model == "vgg16")
+        return {model, 0.7654, 0.8848, 0.09, 0.6952};
+    if (model == "resnet18")
+        return {model, 0.8892, 0.6024, 0.07, 0.8793};
+    if (model == "mobilenet")
+        return {model, 0.2346, 0.8033, 0.20, 0.9213};
+    fatal("unknown model '", model, "'");
+}
+
+BaselineRates
+tableV(const std::string &model)
+{
+    if (model == "vgg16")
+        return {model, 0.8500, 0.9400, 0.20, 0.7000};
+    if (model == "resnet18")
+        return {model, 0.9100, 0.9400, 0.20, 0.8000};
+    if (model == "mobilenet")
+        return {model, 0.4200, 0.9600, 0.20, 0.2000};
+    fatal("unknown model '", model, "'");
+}
+
+const std::vector<std::string> &
+paperModels()
+{
+    static const std::vector<std::string> models{"vgg16", "resnet18",
+                                                 "mobilenet"};
+    return models;
+}
+
+} // namespace dlis

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The paper's published operating points and accuracies.
+ *
+ * Table III: compression rates at the Pareto-curve elbows (the
+ * "optimal accuracy" baselines). Table V: compression rates with
+ * accuracy fixed at 90 %. §V-A: baseline test accuracies.
+ */
+
+#ifndef DLIS_STACK_BASELINES_HPP
+#define DLIS_STACK_BASELINES_HPP
+
+#include <string>
+#include <vector>
+
+namespace dlis {
+
+/** One row of Table III / Table V. */
+struct BaselineRates
+{
+    std::string model;
+    double wpSparsity;     //!< weight-pruning sparsity fraction
+    double cpRate;         //!< channel-pruning compression rate
+    double ttqThreshold;   //!< TTQ threshold t
+    double ttqSparsity;    //!< sparsity the TTQ run converged to
+};
+
+/** §V-A baseline test accuracy (fraction) for a model. */
+double paperBaselineAccuracy(const std::string &model);
+
+/** Table III row (Pareto-elbow baselines) for a model. */
+BaselineRates tableIII(const std::string &model);
+
+/** Table V row (accuracy fixed at 90 %) for a model. */
+BaselineRates tableV(const std::string &model);
+
+/** The three paper models, in presentation order. */
+const std::vector<std::string> &paperModels();
+
+} // namespace dlis
+
+#endif // DLIS_STACK_BASELINES_HPP

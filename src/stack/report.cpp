@@ -1,0 +1,112 @@
+#include "stack/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+TablePrinter::TablePrinter(std::string title)
+    : title_(std::move(title))
+{}
+
+void
+TablePrinter::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    DLIS_CHECK(header_.empty() || row.size() == header_.size(),
+               "row has ", row.size(), " cells, header has ",
+               header_.size());
+    rows_.push_back(std::move(row));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> widths(header_.size(), 0);
+    for (size_t i = 0; i < header_.size(); ++i)
+        widths[i] = header_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    std::cout << "\n== " << title_ << " ==\n";
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            std::cout << (i ? "  " : "") << std::left
+                      << std::setw(static_cast<int>(widths[i]))
+                      << row[i];
+        }
+        std::cout << '\n';
+    };
+    print_row(header_);
+    size_t total = header_.size() ? header_.size() * 2 - 2 : 0;
+    for (size_t w : widths)
+        total += w;
+    std::cout << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+    std::cout.flush();
+}
+
+void
+TablePrinter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        // CSV mirrors are best-effort; the stdout table is canonical.
+        return;
+    }
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            out << (i ? "," : "") << row[i];
+        out << '\n';
+    };
+    write_row(header_);
+    for (const auto &row : rows_)
+        write_row(row);
+}
+
+std::string
+fmtSeconds(double seconds)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(4) << seconds;
+    return oss.str();
+}
+
+std::string
+fmtPercent(double fraction)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(2) << fraction * 100.0
+        << '%';
+    return oss.str();
+}
+
+std::string
+fmtMb(size_t bytes)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(1)
+        << static_cast<double>(bytes) / (1024.0 * 1024.0);
+    return oss.str();
+}
+
+std::string
+fmtDouble(double value, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << value;
+    return oss.str();
+}
+
+} // namespace dlis

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table and series reporting for the benchmark harness: aligned text
+ * tables on stdout and optional CSV mirrors for plotting.
+ */
+
+#ifndef DLIS_STACK_REPORT_HPP
+#define DLIS_STACK_REPORT_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dlis {
+
+/** Simple aligned-column table printer. */
+class TablePrinter
+{
+  public:
+    /** @param title printed above the table. */
+    explicit TablePrinter(std::string title);
+
+    /** Set the column headers (fixes the column count). */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a row; must match the header's column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Write a CSV mirror (no alignment padding). */
+    void writeCsv(const std::string &path) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format seconds with 4 significant decimals. */
+std::string fmtSeconds(double seconds);
+
+/** Format a fraction as a percentage with 2 decimals. */
+std::string fmtPercent(double fraction);
+
+/** Format bytes as MB with 1 decimal. */
+std::string fmtMb(size_t bytes);
+
+/** Format a double with @p decimals digits. */
+std::string fmtDouble(double value, int decimals = 3);
+
+} // namespace dlis
+
+#endif // DLIS_STACK_REPORT_HPP

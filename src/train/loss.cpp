@@ -1,0 +1,69 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "backend/elementwise_kernels.hpp"
+#include "core/error.hpp"
+
+namespace dlis {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    DLIS_CHECK(logits.shape().rank() == 2,
+               "loss expects [batch, classes] logits, got ",
+               logits.shape().str());
+    const size_t batch = logits.shape()[0];
+    const size_t classes = logits.shape()[1];
+    DLIS_CHECK(labels.size() == batch, "got ", labels.size(),
+               " labels for batch of ", batch);
+
+    LossResult result;
+    result.gradLogits = Tensor(logits.shape());
+
+    Tensor probs(logits.shape());
+    kernels::softmax(logits.data(), probs.data(), batch, classes);
+
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+    for (size_t b = 0; b < batch; ++b) {
+        const int label = labels[b];
+        DLIS_CHECK(label >= 0 && static_cast<size_t>(label) < classes,
+                   "label ", label, " out of range for ", classes,
+                   " classes");
+        const float *p = probs.data() + b * classes;
+        float *g = result.gradLogits.data() + b * classes;
+
+        result.loss -=
+            std::log(std::max(p[label], 1e-12f)) * inv_batch;
+
+        size_t argmax = 0;
+        for (size_t c = 0; c < classes; ++c) {
+            if (p[c] > p[argmax])
+                argmax = c;
+            g[c] = p[c] * inv_batch;
+        }
+        g[label] -= inv_batch;
+        if (argmax == static_cast<size_t>(label))
+            ++result.correct;
+    }
+    return result;
+}
+
+double
+top1Accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const size_t batch = logits.shape()[0];
+    const size_t classes = logits.shape()[1];
+    size_t correct = 0;
+    for (size_t b = 0; b < batch; ++b) {
+        const float *row = logits.data() + b * classes;
+        const size_t argmax = static_cast<size_t>(
+            std::max_element(row, row + classes) - row);
+        if (argmax == static_cast<size_t>(labels[b]))
+            ++correct;
+    }
+    return batch ? static_cast<double>(correct) / batch : 0.0;
+}
+
+} // namespace dlis

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Softmax cross-entropy loss (the paper's training objective, §IV-A).
+ */
+
+#ifndef DLIS_TRAIN_LOSS_HPP
+#define DLIS_TRAIN_LOSS_HPP
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace dlis {
+
+/** Result of one loss evaluation over a batch. */
+struct LossResult
+{
+    double loss = 0.0;     //!< mean cross-entropy over the batch
+    size_t correct = 0;    //!< top-1 correct predictions
+    Tensor gradLogits;     //!< dL/dlogits, [batch, classes]
+};
+
+/**
+ * Mean softmax cross-entropy over a batch of logits.
+ *
+ * @param logits [batch, classes]
+ * @param labels one class index per batch item
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/** Top-1 accuracy of logits against labels, in [0, 1]. */
+double top1Accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace dlis
+
+#endif // DLIS_TRAIN_LOSS_HPP

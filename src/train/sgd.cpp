@@ -1,0 +1,57 @@
+#include "train/sgd.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+StepLrSchedule::StepLrSchedule(double baseLr, double gamma,
+                               size_t stepEpochs)
+    : baseLr_(baseLr), gamma_(gamma), stepEpochs_(stepEpochs)
+{
+    DLIS_CHECK(baseLr > 0.0 && gamma > 0.0 && stepEpochs > 0,
+               "bad schedule parameters");
+}
+
+double
+StepLrSchedule::lrAt(size_t epoch) const
+{
+    return baseLr_ *
+           std::pow(gamma_, static_cast<double>(epoch / stepEpochs_));
+}
+
+Sgd::Sgd(std::vector<Tensor *> params, double momentum,
+         double weightDecay)
+    : params_(std::move(params)), momentum_(momentum),
+      weightDecay_(weightDecay)
+{
+    velocity_.reserve(params_.size());
+    for (Tensor *p : params_)
+        velocity_.emplace_back(p->shape(), MemClass::Other);
+}
+
+void
+Sgd::step(const std::vector<Tensor *> &grads, double lr)
+{
+    DLIS_CHECK(grads.size() == params_.size(),
+               "got ", grads.size(), " gradients for ", params_.size(),
+               " parameters");
+    const auto mu = static_cast<float>(momentum_);
+    const auto wd = static_cast<float>(weightDecay_);
+    const auto rate = static_cast<float>(lr);
+
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Tensor &w = *params_[i];
+        const Tensor &g = *grads[i];
+        Tensor &v = velocity_[i];
+        DLIS_CHECK(w.shape() == g.shape(),
+                   "parameter/gradient shape mismatch at index ", i);
+        for (size_t k = 0; k < w.numel(); ++k) {
+            v[k] = mu * v[k] + g[k] + wd * w[k];
+            w[k] -= rate * v[k];
+        }
+    }
+}
+
+} // namespace dlis

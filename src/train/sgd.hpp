@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Stochastic gradient descent with momentum and weight decay, plus the
+ * paper's stepped learning-rate schedule (start 0.1, divide by 10
+ * every 50 epochs — §IV-A).
+ */
+
+#ifndef DLIS_TRAIN_SGD_HPP
+#define DLIS_TRAIN_SGD_HPP
+
+#include <vector>
+
+#include "core/tensor.hpp"
+
+namespace dlis {
+
+/** Stepped learning-rate schedule. */
+class StepLrSchedule
+{
+  public:
+    /**
+     * @param baseLr     initial learning rate
+     * @param gamma      multiplicative decay per step
+     * @param stepEpochs epochs between decays
+     */
+    StepLrSchedule(double baseLr = 0.1, double gamma = 0.1,
+                   size_t stepEpochs = 50);
+
+    /** Learning rate for a (0-based) epoch. */
+    double lrAt(size_t epoch) const;
+
+  private:
+    double baseLr_, gamma_;
+    size_t stepEpochs_;
+};
+
+/** SGD with classical momentum and decoupled L2 weight decay. */
+class Sgd
+{
+  public:
+    /**
+     * @param params      parameter tensors (not owned; order is fixed)
+     * @param momentum    momentum coefficient (0 disables)
+     * @param weightDecay L2 penalty coefficient
+     */
+    Sgd(std::vector<Tensor *> params, double momentum = 0.9,
+        double weightDecay = 5e-4);
+
+    /**
+     * Apply one update: v = mu*v + (g + wd*w); w -= lr*v.
+     *
+     * @param grads gradient tensors aligned with the parameter list
+     * @param lr    learning rate for this step
+     */
+    void step(const std::vector<Tensor *> &grads, double lr);
+
+    /** Number of parameter tensors managed. */
+    size_t size() const { return params_.size(); }
+
+  private:
+    std::vector<Tensor *> params_;
+    std::vector<Tensor> velocity_;
+    double momentum_, weightDecay_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_TRAIN_SGD_HPP

@@ -1,0 +1,105 @@
+#include "train/trainer.hpp"
+
+#include <algorithm>
+
+#include "train/loss.hpp"
+
+namespace dlis {
+
+Trainer::Trainer(Network &net, const Dataset &train,
+                 const TrainConfig &config)
+    : net_(net), train_(train), config_(config),
+      loader_(train, config.batchSize, /*shuffle=*/true, config.augment,
+              config.seed),
+      optimizer_(net.parameters(), config.momentum, config.weightDecay),
+      schedule_(config.baseLr, config.lrGamma, config.lrStepEpochs)
+{}
+
+EpochStats
+Trainer::runBatches(size_t batches, double lr)
+{
+    ExecContext ctx;
+    ctx.training = true;
+
+    EpochStats stats;
+    size_t seen = 0, correct = 0;
+    for (size_t i = 0; i < batches; ++i) {
+        Batch batch = loader_.next();
+        net_.zeroGrad();
+        Tensor logits = net_.forward(batch.images, ctx);
+        LossResult loss = softmaxCrossEntropy(logits, batch.labels);
+        net_.backward(loss.gradLogits, ctx);
+        optimizer_.step(net_.gradients(), lr);
+        if (postStep_)
+            postStep_();
+
+        stats.loss += loss.loss;
+        correct += loss.correct;
+        seen += batch.labels.size();
+    }
+    if (batches)
+        stats.loss /= static_cast<double>(batches);
+    stats.accuracy =
+        seen ? static_cast<double>(correct) / static_cast<double>(seen)
+             : 0.0;
+    return stats;
+}
+
+EpochStats
+Trainer::trainEpoch(size_t epoch)
+{
+    return runBatches(loader_.batchesPerEpoch(), schedule_.lrAt(epoch));
+}
+
+EpochStats
+Trainer::trainEpochs(size_t count)
+{
+    EpochStats last;
+    for (size_t e = 0; e < count; ++e)
+        last = trainEpoch(e);
+    return last;
+}
+
+EpochStats
+Trainer::trainSteps(size_t steps, double lrScale)
+{
+    return runBatches(steps, schedule_.lrAt(0) * lrScale);
+}
+
+void
+Trainer::resetOptimizer()
+{
+    optimizer_ = Sgd(net_.parameters(), config_.momentum,
+                     config_.weightDecay);
+}
+
+void
+Trainer::setPostStepHook(std::function<void()> hook)
+{
+    postStep_ = std::move(hook);
+}
+
+double
+Trainer::evaluate(const Dataset &test, size_t batchSize)
+{
+    ExecContext ctx; // inference mode
+    const size_t bs = std::min(batchSize, test.size());
+    DataLoader loader(test, bs, /*shuffle=*/false, /*augment=*/false);
+
+    size_t correct = 0, seen = 0;
+    const size_t batches = loader.batchesPerEpoch();
+    for (size_t i = 0; i < batches; ++i) {
+        Batch batch = loader.next();
+        Tensor logits = net_.forward(batch.images, ctx);
+        correct += static_cast<size_t>(
+            top1Accuracy(logits, batch.labels) *
+            static_cast<double>(batch.labels.size()) +
+            0.5);
+        seen += batch.labels.size();
+    }
+    return seen ? static_cast<double>(correct) /
+                      static_cast<double>(seen)
+                : 0.0;
+}
+
+} // namespace dlis

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Training loop: SGD over mini-batches with the paper's recipe, plus a
+ * post-step hook used by the compression techniques (mask
+ * re-application for weight pruning, re-quantisation for TTQ).
+ */
+
+#ifndef DLIS_TRAIN_TRAINER_HPP
+#define DLIS_TRAIN_TRAINER_HPP
+
+#include <functional>
+
+#include "data/dataset.hpp"
+#include "nn/network.hpp"
+#include "train/sgd.hpp"
+
+namespace dlis {
+
+/** Trainer configuration. */
+struct TrainConfig
+{
+    size_t batchSize = 32;
+    double baseLr = 0.1;
+    double lrGamma = 0.1;
+    size_t lrStepEpochs = 50;
+    double momentum = 0.9;
+    double weightDecay = 5e-4;
+    bool augment = true;
+    uint64_t seed = 11;
+};
+
+/** Result of one training epoch. */
+struct EpochStats
+{
+    double loss = 0.0;     //!< mean training loss
+    double accuracy = 0.0; //!< training top-1 accuracy
+};
+
+/** Mini-batch SGD driver for a Network. */
+class Trainer
+{
+  public:
+    /**
+     * @param net   the network to train (not owned)
+     * @param train training dataset (not owned; must outlive trainer)
+     * @param config hyper-parameters
+     */
+    Trainer(Network &net, const Dataset &train,
+            const TrainConfig &config);
+
+    /** Run one epoch; @p epoch selects the scheduled learning rate. */
+    EpochStats trainEpoch(size_t epoch);
+
+    /** Run @p count epochs starting from epoch 0; returns the last. */
+    EpochStats trainEpochs(size_t count);
+
+    /**
+     * Run exactly @p steps mini-batch updates at the epoch-0 learning
+     * rate scaled by @p lrScale (used by fine-tuning phases).
+     */
+    EpochStats trainSteps(size_t steps, double lrScale = 1.0);
+
+    /**
+     * Hook invoked after every optimiser step — the mechanism the
+     * compression techniques use to keep their constraint enforced
+     * during fine-tuning.
+     */
+    void setPostStepHook(std::function<void()> hook);
+
+    /**
+     * Rebuild the optimiser from the network's current parameter list.
+     * Required after structural surgery (channel pruning) replaces
+     * parameter tensors.
+     */
+    void resetOptimizer();
+
+    /** Evaluate top-1 accuracy on @p test (inference mode). */
+    double evaluate(const Dataset &test, size_t batchSize = 100);
+
+  private:
+    EpochStats runBatches(size_t batches, double lr);
+
+    Network &net_;
+    const Dataset &train_;
+    TrainConfig config_;
+    DataLoader loader_;
+    Sgd optimizer_;
+    StepLrSchedule schedule_;
+    std::function<void()> postStep_;
+};
+
+} // namespace dlis
+
+#endif // DLIS_TRAIN_TRAINER_HPP

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Core module tests: shapes, RNG, tensors, memory accounting, errors.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.hpp"
+#include "core/memory_tracker.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+TEST(Shape, BasicProperties)
+{
+    Shape s{2, 3, 4, 5};
+    EXPECT_EQ(s.rank(), 4u);
+    EXPECT_EQ(s.numel(), 120u);
+    EXPECT_EQ(s.n(), 2u);
+    EXPECT_EQ(s.c(), 3u);
+    EXPECT_EQ(s.h(), 4u);
+    EXPECT_EQ(s.w(), 5u);
+    EXPECT_EQ(s.str(), "[2, 3, 4, 5]");
+    EXPECT_EQ(s, (Shape{2, 3, 4, 5}));
+    EXPECT_NE(s, (Shape{2, 3, 4, 6}));
+}
+
+TEST(Shape, EmptyAndScalar)
+{
+    Shape empty;
+    EXPECT_EQ(empty.rank(), 0u);
+    EXPECT_EQ(empty.numel(), 1u);
+    EXPECT_THROW(empty.dim(0), FatalError);
+    EXPECT_THROW((Shape{1, 2}).n(), FatalError);
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t va = a.nextU64();
+        EXPECT_EQ(va, b.nextU64());
+    }
+    // Different seeds diverge (overwhelmingly likely).
+    bool diverged = false;
+    Rng a2(42);
+    for (int i = 0; i < 10; ++i)
+        diverged |= a2.nextU64() != c.nextU64();
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const double v = rng.uniform(-2.0, 5.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 5.0);
+        const uint64_t k = rng.uniformInt(17);
+        EXPECT_LT(k, 17u);
+    }
+    EXPECT_THROW(rng.uniformInt(0), FatalError);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(123);
+    double sum = 0.0, sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(5);
+    Rng child = a.split();
+    EXPECT_NE(a.nextU64(), child.nextU64());
+}
+
+TEST(Tensor, FillAndStats)
+{
+    Tensor t(Shape{2, 8});
+    t.fill(3.0f);
+    EXPECT_DOUBLE_EQ(t.sum(), 48.0);
+    EXPECT_EQ(t.countZeros(), 0u);
+    t.fill(0.0f);
+    EXPECT_DOUBLE_EQ(t.sparsity(), 1.0);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t = test::randomTensor(Shape{3, 4}, 9);
+    Tensor r = t.reshaped(Shape{2, 6});
+    EXPECT_EQ(r.shape(), (Shape{2, 6}));
+    for (size_t i = 0; i < t.numel(); ++i)
+        EXPECT_FLOAT_EQ(t[i], r[i]);
+    EXPECT_THROW(t.reshaped(Shape{5, 5}), FatalError);
+}
+
+TEST(Tensor, ArithmeticHelpers)
+{
+    Tensor a = test::randomTensor(Shape{10}, 1);
+    Tensor b = test::randomTensor(Shape{10}, 2);
+    Tensor sum = a;
+    sum.addInPlace(b);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_FLOAT_EQ(sum[i], a[i] + b[i]);
+    sum.scaleInPlace(0.5f);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_FLOAT_EQ(sum[i], 0.5f * (a[i] + b[i]));
+    EXPECT_GT(a.maxAbsDiff(b), 0.0f);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(a), 0.0f);
+    EXPECT_THROW(a.addInPlace(Tensor(Shape{3})), FatalError);
+}
+
+TEST(Tensor, KaimingInitVariance)
+{
+    Rng rng(77);
+    Tensor w(Shape{64, 32, 3, 3}, MemClass::Weights);
+    w.fillKaiming(rng);
+    double sq = 0.0;
+    for (size_t i = 0; i < w.numel(); ++i)
+        sq += static_cast<double>(w[i]) * w[i];
+    const double var = sq / static_cast<double>(w.numel());
+    const double expect = 2.0 / (32.0 * 9.0); // 2 / fan_in
+    EXPECT_NEAR(var, expect, 0.2 * expect);
+}
+
+TEST(Tensor, CheckedAccessThrows)
+{
+    Tensor t(Shape{4});
+    EXPECT_NO_THROW(t.at(3));
+    EXPECT_THROW(t.at(4), FatalError);
+}
+
+TEST(MemoryTracker, AllocateReleasePeaks)
+{
+    auto &tracker = MemoryTracker::instance();
+    const size_t base = tracker.currentBytes();
+    tracker.resetPeaks();
+    {
+        TrackedBytes a(MemClass::Scratch, 1000);
+        EXPECT_EQ(tracker.currentBytes(), base + 1000);
+        {
+            TrackedBytes b(MemClass::Scratch, 500);
+            EXPECT_EQ(tracker.currentBytes(), base + 1500);
+        }
+        EXPECT_EQ(tracker.currentBytes(), base + 1000);
+        EXPECT_GE(tracker.peakBytes(), base + 1500);
+    }
+    EXPECT_EQ(tracker.currentBytes(), base);
+}
+
+TEST(MemoryTracker, MoveSemantics)
+{
+    auto &tracker = MemoryTracker::instance();
+    const size_t base = tracker.currentBytes(MemClass::Other);
+    TrackedBytes a(MemClass::Other, 256);
+    TrackedBytes b = std::move(a);
+    EXPECT_EQ(tracker.currentBytes(MemClass::Other), base + 256);
+    b.resize(512);
+    EXPECT_EQ(tracker.currentBytes(MemClass::Other), base + 512);
+    b.resize(128);
+    EXPECT_EQ(tracker.currentBytes(MemClass::Other), base + 128);
+}
+
+TEST(MemoryTracker, TensorRegistersItsBytes)
+{
+    auto &tracker = MemoryTracker::instance();
+    const size_t base = tracker.currentBytes(MemClass::Activations);
+    {
+        Tensor t(Shape{1024});
+        EXPECT_EQ(tracker.currentBytes(MemClass::Activations),
+                  base + 1024 * sizeof(float));
+        Tensor copy = t; // copies are tracked too
+        EXPECT_EQ(tracker.currentBytes(MemClass::Activations),
+                  base + 2 * 1024 * sizeof(float));
+    }
+    EXPECT_EQ(tracker.currentBytes(MemClass::Activations), base);
+}
+
+TEST(Errors, FatalVersusPanic)
+{
+    EXPECT_THROW(fatal("user error ", 42), FatalError);
+    EXPECT_THROW(panic("library bug"), PanicError);
+    try {
+        fatal("code ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("code 7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace dlis

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * SynthCIFAR and data-loader tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+TEST(SynthCifar, ShapesAndLabelBalance)
+{
+    const Dataset d = makeSynthCifar({100, 10, 32, 0.25, 1});
+    EXPECT_EQ(d.size(), 100u);
+    EXPECT_EQ(d.images.shape(), (Shape{100, 3, 32, 32}));
+    std::vector<int> counts(10, 0);
+    for (int label : d.labels) {
+        ASSERT_GE(label, 0);
+        ASSERT_LT(label, 10);
+        ++counts[label];
+    }
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(SynthCifar, DeterministicForSameSeed)
+{
+    const Dataset a = makeSynthCifar({20, 10, 32, 0.25, 7});
+    const Dataset b = makeSynthCifar({20, 10, 32, 0.25, 7});
+    EXPECT_TRUE(a.images == b.images);
+    EXPECT_EQ(a.labels, b.labels);
+
+    const Dataset c = makeSynthCifar({20, 10, 32, 0.25, 8});
+    EXPECT_FALSE(a.images == c.images);
+}
+
+TEST(SynthCifar, ClassesAreSeparatedBeyondNoise)
+{
+    // Same-class images must be closer (on average) than cross-class
+    // images — otherwise the learning results are meaningless.
+    const Dataset d = makeSynthCifar({40, 10, 32, 0.2, 9});
+    auto dist = [&](size_t i, size_t j) {
+        const Tensor a = d.image(i), b = d.image(j);
+        return static_cast<double>(a.maxAbsDiff(b));
+    };
+    // Images i and i+10 share a class; i and i+1 do not.
+    double same = 0.0, cross = 0.0;
+    for (size_t i = 0; i < 10; ++i) {
+        same += dist(i, i + 10);
+        cross += dist(i, (i + 1) % 40);
+    }
+    EXPECT_LT(same, cross);
+}
+
+TEST(SynthCifar, SplitSetsDiffer)
+{
+    const SynthCifarSplit split = makeSynthCifarSplit(30, 30, 3);
+    EXPECT_EQ(split.train.size(), 30u);
+    EXPECT_EQ(split.test.size(), 30u);
+    EXPECT_FALSE(split.train.images == split.test.images);
+}
+
+TEST(DataLoader, CoversEpochWithoutAugment)
+{
+    const Dataset d = makeSynthCifar({30, 10, 32, 0.25, 5});
+    DataLoader loader(d, 10, /*shuffle=*/false, /*augment=*/false);
+    EXPECT_EQ(loader.batchesPerEpoch(), 3u);
+
+    std::vector<int> seen;
+    for (int i = 0; i < 3; ++i) {
+        Batch b = loader.next();
+        EXPECT_EQ(b.images.shape(), (Shape{10, 3, 32, 32}));
+        for (int label : b.labels)
+            seen.push_back(label);
+    }
+    EXPECT_EQ(seen.size(), 30u);
+    // Unshuffled order preserves the dataset's label cycle.
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], static_cast<int>(i % 10));
+}
+
+TEST(DataLoader, ShuffleChangesOrderDeterministically)
+{
+    const Dataset d = makeSynthCifar({40, 10, 32, 0.25, 6});
+    DataLoader a(d, 40, true, false, 99);
+    DataLoader b(d, 40, true, false, 99);
+    DataLoader c(d, 40, true, false, 100);
+    const Batch ba = a.next(), bb = b.next(), bc = c.next();
+    EXPECT_EQ(ba.labels, bb.labels);
+    EXPECT_NE(ba.labels, bc.labels);
+}
+
+TEST(DataLoader, AugmentationShiftsButPreservesLabel)
+{
+    const Dataset d = makeSynthCifar({10, 10, 32, 0.0, 7});
+    DataLoader plain(d, 10, false, false);
+    DataLoader aug(d, 10, false, true, 123);
+    const Batch p = plain.next();
+    const Batch a = aug.next();
+    EXPECT_EQ(p.labels, a.labels);
+    // Crops differ from the originals for at least some images.
+    EXPECT_GT(a.images.maxAbsDiff(p.images), 0.0f);
+}
+
+TEST(DataLoader, RejectsOversizedBatch)
+{
+    const Dataset d = makeSynthCifar({8, 10, 32, 0.25, 8});
+    EXPECT_THROW(DataLoader(d, 9, false, false), FatalError);
+    EXPECT_THROW(DataLoader(d, 0, false, false), FatalError);
+}
+
+TEST(Dataset, ImageExtraction)
+{
+    const Dataset d = makeSynthCifar({5, 10, 32, 0.25, 9});
+    const Tensor img = d.image(2);
+    EXPECT_EQ(img.shape(), (Shape{1, 3, 32, 32}));
+    for (size_t i = 0; i < img.numel(); ++i)
+        EXPECT_FLOAT_EQ(img[i],
+                        d.images[2 * img.numel() + i]);
+    EXPECT_THROW(d.image(5), FatalError);
+}
+
+} // namespace
+} // namespace dlis

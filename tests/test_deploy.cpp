@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deployment-transform tests: batch-norm folding (numerical
+ * equivalence, layer removal, sync-cost interaction) and the energy
+ * model.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "hw/cost_model.hpp"
+#include "nn/fold_bn.hpp"
+#include "nn/models/model.hpp"
+#include "nn/shape_walk.hpp"
+#include "stack/baselines.hpp"
+#include "stack/inference_stack.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+using test::randomTensor;
+
+/** Give a model non-trivial BN statistics so folding is exercised. */
+void
+randomiseBnStats(Network &net, uint64_t seed)
+{
+    Rng rng(seed);
+    for (const auto &layer : net.layers()) {
+        if (auto *bn = dynamic_cast<BatchNorm2d *>(layer.get())) {
+            bn->gamma().fillUniform(rng, 0.5f, 1.5f);
+            bn->beta().fillUniform(rng, -0.3f, 0.3f);
+            bn->runningMean().fillUniform(rng, -0.2f, 0.2f);
+            bn->runningVar().fillUniform(rng, 0.5f, 2.0f);
+        }
+    }
+}
+
+TEST(FoldBn, VggOutputsUnchangedAndBnsGone)
+{
+    Rng rng(1);
+    Model m = makeVgg16(10, 0.125, rng);
+    randomiseBnStats(m.net, 2);
+
+    Tensor in = randomTensor(Shape{1, 3, 32, 32}, 3);
+    ExecContext ctx;
+    const Tensor before = m.net.forward(in, ctx);
+    const size_t layers_before = m.net.size();
+
+    const size_t folded = foldBatchNorms(m.net);
+    EXPECT_EQ(folded, 13u); // one BN per conv
+    EXPECT_EQ(m.net.size(), layers_before - 13);
+
+    const Tensor after = m.net.forward(in, ctx);
+    EXPECT_LE(after.maxAbsDiff(before), 1e-3f);
+}
+
+TEST(FoldBn, MobileNetFoldsConvAndDepthwiseBns)
+{
+    Rng rng(4);
+    Model m = makeMobileNet(10, 0.25, rng);
+    randomiseBnStats(m.net, 5);
+
+    Tensor in = randomTensor(Shape{1, 3, 32, 32}, 6);
+    ExecContext ctx;
+    const Tensor before = m.net.forward(in, ctx);
+
+    const size_t folded = foldBatchNorms(m.net);
+    EXPECT_EQ(folded, 27u); // stem + 13 dw + 13 pw
+    EXPECT_LE(m.net.forward(in, ctx).maxAbsDiff(before), 1e-3f);
+}
+
+TEST(FoldBn, ResNetBlocksAreLeftIntact)
+{
+    Rng rng(7);
+    Model m = makeResNet18(10, 0.125, rng);
+    randomiseBnStats(m.net, 8);
+    Tensor in = randomTensor(Shape{1, 3, 32, 32}, 9);
+    ExecContext ctx;
+    const Tensor before = m.net.forward(in, ctx);
+
+    // Only the stem's top-level conv->bn pair is foldable.
+    const size_t folded = foldBatchNorms(m.net);
+    EXPECT_EQ(folded, 1u);
+    EXPECT_LE(m.net.forward(in, ctx).maxAbsDiff(before), 1e-3f);
+}
+
+TEST(FoldBn, IdempotentSecondPass)
+{
+    Rng rng(10);
+    Model m = makeVgg16(10, 0.0625, rng);
+    EXPECT_GT(foldBatchNorms(m.net), 0u);
+    EXPECT_EQ(foldBatchNorms(m.net), 0u);
+}
+
+TEST(FoldBn, ReducesSyncPointsAndSimulatedMobileNetTime)
+{
+    // The across-stack interaction: folding removes parallel stages,
+    // which under §IV-D's per-layer synchronisation directly reduces
+    // MobileNet's thread-scaling overhead.
+    Rng rng(11);
+    Model m = makeMobileNet(10, 1.0, rng);
+    const CostModel odroid(odroidXu4());
+
+    const auto before =
+        collectStageCosts(m.net, Shape{1, 3, 32, 32});
+    const double t8_before = odroid.estimateCpu(before, 8).total();
+
+    foldBatchNorms(m.net);
+    const auto after = collectStageCosts(m.net, Shape{1, 3, 32, 32});
+    const double t8_after = odroid.estimateCpu(after, 8).total();
+
+    EXPECT_LT(after.size(), before.size());
+    EXPECT_LT(t8_after, t8_before * 0.8);
+}
+
+TEST(Energy, ChannelPruningSavesEnergyEverywhere)
+{
+    const CostModel odroid(odroidXu4());
+    StackConfig plain_c;
+    plain_c.modelName = "vgg16";
+    plain_c.widthMult = 0.25;
+    InferenceStack plain(plain_c);
+
+    StackConfig cp_c = plain_c;
+    cp_c.technique = Technique::ChannelPruning;
+    cp_c.cpRate = tableIII("vgg16").cpRate;
+    InferenceStack cp(cp_c);
+
+    const EnergyBreakdown e_plain =
+        odroid.estimateEnergyCpu(plain.stageCosts());
+    const EnergyBreakdown e_cp =
+        odroid.estimateEnergyCpu(cp.stageCosts());
+    EXPECT_LT(e_cp.computeJoules, e_plain.computeJoules);
+    EXPECT_LT(e_cp.dramJoules, e_plain.dramJoules);
+    EXPECT_GT(e_plain.total(), 0.0);
+}
+
+TEST(Energy, SparseFormatCostsComputeEnergyDespiteFewerMacs)
+{
+    // The energy version of the paper's headline: CSR cuts the MAC
+    // count but traversal work erases the win.
+    const CostModel odroid(odroidXu4());
+    StackConfig plain_c;
+    plain_c.modelName = "vgg16";
+    plain_c.widthMult = 0.25;
+    InferenceStack plain(plain_c);
+
+    StackConfig wp_c = plain_c;
+    wp_c.technique = Technique::WeightPruning;
+    wp_c.wpSparsity = tableIII("vgg16").wpSparsity;
+    wp_c.format = WeightFormat::Csr;
+    InferenceStack wp(wp_c);
+
+    const EnergyBreakdown e_plain =
+        odroid.estimateEnergyCpu(plain.stageCosts());
+    const EnergyBreakdown e_wp =
+        odroid.estimateEnergyCpu(wp.stageCosts());
+    EXPECT_GE(e_wp.computeJoules, e_plain.computeJoules * 0.95);
+}
+
+TEST(Energy, MemoryDominatesForMobileNet)
+{
+    // [12]'s motivation, visible in the model: low-arithmetic-
+    // intensity networks spend their energy on DRAM traffic.
+    const CostModel odroid(odroidXu4());
+    StackConfig c;
+    c.modelName = "mobilenet";
+    c.widthMult = 1.0;
+    InferenceStack stack(c);
+    const EnergyBreakdown e =
+        odroid.estimateEnergyCpu(stack.stageCosts());
+    EXPECT_GT(e.dramJoules, e.computeJoules);
+}
+
+} // namespace
+} // namespace dlis

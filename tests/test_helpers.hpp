@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared helpers for the dlis test suite.
+ */
+
+#ifndef DLIS_TESTS_TEST_HELPERS_HPP
+#define DLIS_TESTS_TEST_HELPERS_HPP
+
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+
+namespace dlis::test {
+
+/** Fill a tensor with reproducible N(0,1) values. */
+inline Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+/** Expect two tensors elementwise-close. */
+inline void
+expectClose(const Tensor &a, const Tensor &b, float tol = 1e-4f)
+{
+    ASSERT_EQ(a.shape().dims(), b.shape().dims());
+    EXPECT_LE(a.maxAbsDiff(b), tol);
+}
+
+} // namespace dlis::test
+
+#endif // DLIS_TESTS_TEST_HELPERS_HPP

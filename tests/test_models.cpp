@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Model-zoo tests: construction at paper scale, parameter counts,
+ * forward shapes, prune-unit wiring, layer counts matching the
+ * paper's descriptions (§IV-A).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/models/model.hpp"
+#include "nn/shape_walk.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+Shape
+cifarInput(size_t batch = 1)
+{
+    return Shape{batch, 3, 32, 32};
+}
+
+TEST(Vgg16, StructureMatchesPaper)
+{
+    Rng rng(1);
+    Model m = makeVgg16(10, 1.0, rng);
+    // "13 convolutional layers ... two [FC] layers containing 512 and
+    // 10 nodes".
+    EXPECT_EQ(m.convs.size(), 13u);
+    ASSERT_EQ(m.linears.size(), 2u);
+    EXPECT_EQ(m.linears[0]->outFeatures(), 512u);
+    EXPECT_EQ(m.linears[1]->outFeatures(), 10u);
+    EXPECT_EQ(m.pruneUnits.size(), 13u);
+    // Known parameter count for the CIFAR-10 truncation (conv weights
+    // 14,710,464 + classifier 267,274 + batch-norm affine terms).
+    const size_t params = m.net.parameterCount();
+    EXPECT_GT(params, 14'900'000u);
+    EXPECT_LT(params, 15'100'000u);
+}
+
+TEST(Vgg16, ForwardShapeAndFinitude)
+{
+    Rng rng(2);
+    Model m = makeVgg16(10, 0.25, rng);
+    ExecContext ctx;
+    Tensor in = test::randomTensor(cifarInput(2), 3);
+    Tensor out = m.net.forward(in, ctx);
+    EXPECT_EQ(out.shape(), (Shape{2, 10}));
+    for (size_t i = 0; i < out.numel(); ++i)
+        EXPECT_TRUE(std::isfinite(out[i]));
+}
+
+TEST(ResNet18, StructureMatchesPaper)
+{
+    Rng rng(4);
+    Model m = makeResNet18(10, 1.0, rng);
+    // Stem + 8 blocks x 2 convs + 3 projections = 20 standard convs.
+    EXPECT_EQ(m.convs.size(), 20u);
+    EXPECT_EQ(m.pruneUnits.size(), 8u); // one per block (§V-B2)
+    EXPECT_EQ(m.linears.size(), 1u);
+    // Canonical CIFAR ResNet-18 parameter count ~11.17 M.
+    const size_t params = m.net.parameterCount();
+    EXPECT_GT(params, 11'000'000u);
+    EXPECT_LT(params, 11'400'000u);
+}
+
+TEST(ResNet18, ForwardShape)
+{
+    Rng rng(5);
+    Model m = makeResNet18(10, 0.25, rng);
+    ExecContext ctx;
+    Tensor in = test::randomTensor(cifarInput(1), 6);
+    Tensor out = m.net.forward(in, ctx);
+    EXPECT_EQ(out.shape(), (Shape{1, 10}));
+}
+
+TEST(MobileNet, StructureMatchesPaper)
+{
+    Rng rng(7);
+    Model m = makeMobileNet(10, 1.0, rng);
+    // "27 convolutional layers, alternating between 3x3 depthwise
+    // convolutions and 1x1 pointwise convolutions": stem + 13 dw +
+    // 13 pw.
+    EXPECT_EQ(m.convs.size() + m.dwConvs.size(), 27u);
+    EXPECT_EQ(m.dwConvs.size(), 13u);
+    EXPECT_EQ(m.pruneUnits.size(), 14u); // stem + 13 pointwise
+    // MobileNet v1 at width 1.0 with a 10-way head: ~3.2 M params.
+    const size_t params = m.net.parameterCount();
+    EXPECT_GT(params, 3'100'000u);
+    EXPECT_LT(params, 3'400'000u);
+}
+
+TEST(MobileNet, ForwardShapeAndSpatialCollapse)
+{
+    Rng rng(8);
+    Model m = makeMobileNet(10, 0.25, rng);
+    ExecContext ctx;
+    Tensor in = test::randomTensor(cifarInput(1), 9);
+    Tensor out = m.net.forward(in, ctx);
+    EXPECT_EQ(out.shape(), (Shape{1, 10}));
+
+    // 32x32 input through stride-2 stem + 5 stride-2 depthwise stages
+    // collapses to 1x1 before the classifier.
+    const auto shapes = collectInputShapes(m.net, cifarInput(1));
+    const Layer *fc = m.linears[0];
+    auto it = shapes.find(fc);
+    ASSERT_NE(it, shapes.end());
+    EXPECT_EQ(it->second.numel(), m.linears[0]->inFeatures());
+}
+
+TEST(Models, WidthMultiplierScalesParameters)
+{
+    Rng rng(10);
+    Model full = makeVgg16(10, 1.0, rng);
+    Model half = makeVgg16(10, 0.5, rng);
+    Model quarter = makeVgg16(10, 0.25, rng);
+    const auto p1 = full.net.parameterCount();
+    const auto p2 = half.net.parameterCount();
+    const auto p3 = quarter.net.parameterCount();
+    // Conv parameters scale roughly quadratically in width.
+    EXPECT_GT(p1, 3 * p2);
+    EXPECT_GT(p2, 3 * p3);
+}
+
+TEST(Models, FactoryByName)
+{
+    Rng rng(11);
+    EXPECT_EQ(makeModel("vgg16", 10, 0.1, rng).net.name(), "vgg16");
+    EXPECT_EQ(makeModel("resnet18", 10, 0.1, rng).net.name(),
+              "resnet18");
+    EXPECT_EQ(makeModel("mobilenet", 10, 0.1, rng).net.name(),
+              "mobilenet");
+    EXPECT_THROW(makeModel("alexnet", 10, 1.0, rng), FatalError);
+}
+
+TEST(Models, PruneUnitsAreFullyWired)
+{
+    Rng rng(12);
+    for (const char *name : {"vgg16", "resnet18", "mobilenet"}) {
+        Model m = makeModel(name, 10, 0.25, rng);
+        for (const PruneUnit &u : m.pruneUnits) {
+            EXPECT_NE(u.producer, nullptr) << name;
+            EXPECT_NE(u.bn, nullptr) << name;
+            EXPECT_NE(u.probe, nullptr) << name;
+            // Every unit must feed something.
+            EXPECT_TRUE(u.consumerConv || u.consumerLinear)
+                << name << " unit " << u.name;
+            if (u.consumerConv && !u.coupledDw) {
+                EXPECT_EQ(u.consumerConv->cin(), u.producer->cout())
+                    << name << " unit " << u.name;
+            }
+            if (u.coupledDw) {
+                EXPECT_EQ(u.coupledDw->channels(), u.producer->cout())
+                    << name << " unit " << u.name;
+            }
+        }
+    }
+}
+
+TEST(Models, SetFormatRoundTripPreservesOutput)
+{
+    Rng rng(13);
+    Model m = makeVgg16(10, 0.125, rng);
+    ExecContext ctx;
+    Tensor in = test::randomTensor(cifarInput(1), 14);
+    const Tensor dense_out = m.net.forward(in, ctx);
+
+    m.setFormat(WeightFormat::Csr);
+    const Tensor csr_out = m.net.forward(in, ctx);
+    EXPECT_LE(csr_out.maxAbsDiff(dense_out), 2e-3f);
+
+    m.setFormat(WeightFormat::Dense);
+    const Tensor back_out = m.net.forward(in, ctx);
+    EXPECT_LE(back_out.maxAbsDiff(dense_out), 1e-6f);
+}
+
+TEST(Models, CostsCoverAllMacs)
+{
+    Rng rng(15);
+    Model m = makeResNet18(10, 0.25, rng);
+    const auto stage_costs = collectStageCosts(m.net, cifarInput(1));
+    const auto layer_costs = m.net.costs(cifarInput(1));
+
+    size_t stage_macs = 0, layer_macs = 0;
+    for (const auto &c : stage_costs)
+        stage_macs += c.denseMacs;
+    for (const auto &c : layer_costs)
+        layer_macs += c.denseMacs;
+    // The expanded stage view and the aggregate view must agree.
+    EXPECT_EQ(stage_macs, layer_macs);
+    EXPECT_GT(stage_costs.size(), layer_costs.size());
+}
+
+} // namespace
+} // namespace dlis

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Training-engine tests: loss correctness, SGD semantics, the stepped
+ * schedule, and end-to-end learning on SynthCIFAR (a small model must
+ * beat chance by a wide margin within a few epochs).
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synth_cifar.hpp"
+#include "nn/models/model.hpp"
+#include "train/loss.hpp"
+#include "train/trainer.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+TEST(Loss, UniformLogitsGiveLogC)
+{
+    Tensor logits(Shape{4, 10});
+    logits.fill(0.0f);
+    std::vector<int> labels{0, 3, 7, 9};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+    EXPECT_NEAR(r.loss, std::log(10.0), 1e-5);
+}
+
+TEST(Loss, GradientMatchesFiniteDifference)
+{
+    Tensor logits = test::randomTensor(Shape{3, 5}, 1);
+    std::vector<int> labels{2, 0, 4};
+    const LossResult r = softmaxCrossEntropy(logits, labels);
+
+    const float eps = 1e-3f;
+    for (size_t i = 0; i < logits.numel(); ++i) {
+        Tensor plus = logits, minus = logits;
+        plus[i] += eps;
+        minus[i] -= eps;
+        const double lp = softmaxCrossEntropy(plus, labels).loss;
+        const double lm = softmaxCrossEntropy(minus, labels).loss;
+        EXPECT_NEAR(r.gradLogits[i], (lp - lm) / (2.0 * eps), 1e-3);
+    }
+}
+
+TEST(Loss, CountsCorrectPredictions)
+{
+    Tensor logits(Shape{2, 3});
+    logits[0 * 3 + 1] = 5.0f; // predicts 1
+    logits[1 * 3 + 2] = 5.0f; // predicts 2
+    EXPECT_EQ(softmaxCrossEntropy(logits, {1, 0}).correct, 1u);
+    EXPECT_DOUBLE_EQ(top1Accuracy(logits, {1, 2}), 1.0);
+    EXPECT_THROW(softmaxCrossEntropy(logits, {1, 99}), FatalError);
+}
+
+TEST(StepSchedule, DecaysEveryStep)
+{
+    StepLrSchedule sched(0.1, 0.1, 50);
+    EXPECT_DOUBLE_EQ(sched.lrAt(0), 0.1);
+    EXPECT_DOUBLE_EQ(sched.lrAt(49), 0.1);
+    EXPECT_DOUBLE_EQ(sched.lrAt(50), 0.01);
+    EXPECT_DOUBLE_EQ(sched.lrAt(100), 0.001);
+}
+
+TEST(Sgd, PlainStepMovesAgainstGradient)
+{
+    Tensor w(Shape{3});
+    w.fill(1.0f);
+    Tensor g(Shape{3});
+    g.fill(2.0f);
+    Sgd opt({&w}, /*momentum=*/0.0, /*weightDecay=*/0.0);
+    opt.step({&g}, 0.1);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(w[i], 1.0f - 0.1f * 2.0f, 1e-6f);
+}
+
+TEST(Sgd, MomentumAccumulates)
+{
+    Tensor w(Shape{1});
+    Tensor g(Shape{1});
+    g[0] = 1.0f;
+    Sgd opt({&w}, 0.9, 0.0);
+    opt.step({&g}, 1.0); // v=1, w=-1
+    opt.step({&g}, 1.0); // v=1.9, w=-2.9
+    EXPECT_NEAR(w[0], -2.9f, 1e-5f);
+}
+
+TEST(Sgd, WeightDecayShrinksWeights)
+{
+    Tensor w(Shape{1});
+    w[0] = 10.0f;
+    Tensor g(Shape{1}); // zero gradient
+    Sgd opt({&w}, 0.0, 0.1);
+    opt.step({&g}, 0.5);
+    EXPECT_NEAR(w[0], 10.0f - 0.5f * 0.1f * 10.0f, 1e-5f);
+}
+
+TEST(Sgd, ShapeMismatchThrows)
+{
+    Tensor w(Shape{2});
+    Tensor g(Shape{3});
+    Sgd opt({&w});
+    EXPECT_THROW(opt.step({&g}, 0.1), FatalError);
+}
+
+TEST(Trainer, LearnsSynthCifarWellAboveChance)
+{
+    const SynthCifarSplit data = makeSynthCifarSplit(320, 160, 21);
+    Rng rng(2);
+    Model m = makeMobileNet(10, 0.25, rng);
+
+    TrainConfig tc;
+    tc.batchSize = 32;
+    tc.baseLr = 0.05;
+    tc.augment = true;
+    Trainer trainer(m.net, data.train, tc);
+
+    const double before = trainer.evaluate(data.test);
+    EpochStats last{};
+    for (size_t e = 0; e < 6; ++e)
+        last = trainer.trainEpoch(e);
+    const double after = trainer.evaluate(data.test);
+
+    // 10-class chance is 10%; the synthetic task is learnable.
+    EXPECT_GT(after, 0.35);
+    EXPECT_GT(after, before);
+    EXPECT_LT(last.loss, std::log(10.0));
+}
+
+TEST(Trainer, PostStepHookRunsEveryStep)
+{
+    const Dataset data = makeSynthCifar({64, 10, 32, 0.25, 31});
+    Rng rng(3);
+    Model m = makeVgg16(10, 0.0625, rng);
+    TrainConfig tc;
+    tc.batchSize = 16;
+    Trainer trainer(m.net, data, tc);
+
+    size_t calls = 0;
+    trainer.setPostStepHook([&] { ++calls; });
+    trainer.trainSteps(5);
+    EXPECT_EQ(calls, 5u);
+}
+
+TEST(Trainer, EvaluateIsDeterministic)
+{
+    const SynthCifarSplit data = makeSynthCifarSplit(64, 64, 41);
+    Rng rng(4);
+    Model m = makeResNet18(10, 0.125, rng);
+    TrainConfig tc;
+    tc.batchSize = 16;
+    Trainer trainer(m.net, data.train, tc);
+    EXPECT_DOUBLE_EQ(trainer.evaluate(data.test),
+                     trainer.evaluate(data.test));
+}
+
+} // namespace
+} // namespace dlis
