@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bn_folding.dir/ablation_bn_folding.cpp.o"
+  "CMakeFiles/ablation_bn_folding.dir/ablation_bn_folding.cpp.o.d"
+  "ablation_bn_folding"
+  "ablation_bn_folding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bn_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_conv_algos.dir/ablation_conv_algos.cpp.o"
+  "CMakeFiles/ablation_conv_algos.dir/ablation_conv_algos.cpp.o.d"
+  "ablation_conv_algos"
+  "ablation_conv_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_conv_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pruning_strategies.dir/ablation_pruning_strategies.cpp.o"
+  "CMakeFiles/ablation_pruning_strategies.dir/ablation_pruning_strategies.cpp.o.d"
+  "ablation_pruning_strategies"
+  "ablation_pruning_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pruning_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_ternary_packing.cpp" "bench/CMakeFiles/ablation_ternary_packing.dir/ablation_ternary_packing.cpp.o" "gcc" "bench/CMakeFiles/ablation_ternary_packing.dir/ablation_ternary_packing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/dlis_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/dlis_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dlis_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dlis_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dlis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dlis_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dlis_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_im2col_memory.dir/extension_im2col_memory.cpp.o"
+  "CMakeFiles/extension_im2col_memory.dir/extension_im2col_memory.cpp.o.d"
+  "extension_im2col_memory"
+  "extension_im2col_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_im2col_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_expected_vs_actual.dir/fig1_expected_vs_actual.cpp.o"
+  "CMakeFiles/fig1_expected_vs_actual.dir/fig1_expected_vs_actual.cpp.o.d"
+  "fig1_expected_vs_actual"
+  "fig1_expected_vs_actual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_expected_vs_actual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

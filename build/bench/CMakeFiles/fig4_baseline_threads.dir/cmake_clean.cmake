@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_baseline_threads.dir/fig4_baseline_threads.cpp.o"
+  "CMakeFiles/fig4_baseline_threads.dir/fig4_baseline_threads.cpp.o.d"
+  "fig4_baseline_threads"
+  "fig4_baseline_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_baseline_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_time_at_90.dir/fig5_time_at_90.cpp.o"
+  "CMakeFiles/fig5_time_at_90.dir/fig5_time_at_90.cpp.o.d"
+  "fig5_time_at_90"
+  "fig5_time_at_90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_time_at_90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

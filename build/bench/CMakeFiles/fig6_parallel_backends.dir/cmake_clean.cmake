@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_parallel_backends.dir/fig6_parallel_backends.cpp.o"
+  "CMakeFiles/fig6_parallel_backends.dir/fig6_parallel_backends.cpp.o.d"
+  "fig6_parallel_backends"
+  "fig6_parallel_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_parallel_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_baseline_rates.dir/table3_baseline_rates.cpp.o"
+  "CMakeFiles/table3_baseline_rates.dir/table3_baseline_rates.cpp.o.d"
+  "table3_baseline_rates"
+  "table3_baseline_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_baseline_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_memory_baseline.dir/table4_memory_baseline.cpp.o"
+  "CMakeFiles/table4_memory_baseline.dir/table4_memory_baseline.cpp.o.d"
+  "table4_memory_baseline"
+  "table4_memory_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_memory_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

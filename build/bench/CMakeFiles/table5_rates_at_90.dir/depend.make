@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_rates_at_90.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_memory_at_90.dir/table6_memory_at_90.cpp.o"
+  "CMakeFiles/table6_memory_at_90.dir/table6_memory_at_90.cpp.o.d"
+  "table6_memory_at_90"
+  "table6_memory_at_90.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_memory_at_90.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

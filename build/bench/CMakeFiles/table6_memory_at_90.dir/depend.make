@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_memory_at_90.
+# This may be replaced when dependencies are built.

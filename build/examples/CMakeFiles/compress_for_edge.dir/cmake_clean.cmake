@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compress_for_edge.dir/compress_for_edge.cpp.o"
+  "CMakeFiles/compress_for_edge.dir/compress_for_edge.cpp.o.d"
+  "compress_for_edge"
+  "compress_for_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compress_for_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

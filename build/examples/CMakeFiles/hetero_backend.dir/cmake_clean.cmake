@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_backend.dir/hetero_backend.cpp.o"
+  "CMakeFiles/hetero_backend.dir/hetero_backend.cpp.o.d"
+  "hetero_backend"
+  "hetero_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

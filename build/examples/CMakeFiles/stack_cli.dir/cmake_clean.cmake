@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_cli.dir/stack_cli.cpp.o"
+  "CMakeFiles/stack_cli.dir/stack_cli.cpp.o.d"
+  "stack_cli"
+  "stack_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

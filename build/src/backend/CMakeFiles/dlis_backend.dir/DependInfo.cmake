@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backend/conv_kernels.cpp" "src/backend/CMakeFiles/dlis_backend.dir/conv_kernels.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/conv_kernels.cpp.o.d"
+  "/root/repo/src/backend/elementwise_kernels.cpp" "src/backend/CMakeFiles/dlis_backend.dir/elementwise_kernels.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/elementwise_kernels.cpp.o.d"
+  "/root/repo/src/backend/gemm.cpp" "src/backend/CMakeFiles/dlis_backend.dir/gemm.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/gemm.cpp.o.d"
+  "/root/repo/src/backend/gemmlib/autotuner.cpp" "src/backend/CMakeFiles/dlis_backend.dir/gemmlib/autotuner.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/gemmlib/autotuner.cpp.o.d"
+  "/root/repo/src/backend/gemmlib/tuned_gemm.cpp" "src/backend/CMakeFiles/dlis_backend.dir/gemmlib/tuned_gemm.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/gemmlib/tuned_gemm.cpp.o.d"
+  "/root/repo/src/backend/im2col.cpp" "src/backend/CMakeFiles/dlis_backend.dir/im2col.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/im2col.cpp.o.d"
+  "/root/repo/src/backend/linear_kernels.cpp" "src/backend/CMakeFiles/dlis_backend.dir/linear_kernels.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/linear_kernels.cpp.o.d"
+  "/root/repo/src/backend/oclsim/cl_kernels.cpp" "src/backend/CMakeFiles/dlis_backend.dir/oclsim/cl_kernels.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/oclsim/cl_kernels.cpp.o.d"
+  "/root/repo/src/backend/oclsim/ndrange.cpp" "src/backend/CMakeFiles/dlis_backend.dir/oclsim/ndrange.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/oclsim/ndrange.cpp.o.d"
+  "/root/repo/src/backend/winograd.cpp" "src/backend/CMakeFiles/dlis_backend.dir/winograd.cpp.o" "gcc" "src/backend/CMakeFiles/dlis_backend.dir/winograd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/dlis_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_backend.dir/conv_kernels.cpp.o"
+  "CMakeFiles/dlis_backend.dir/conv_kernels.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/elementwise_kernels.cpp.o"
+  "CMakeFiles/dlis_backend.dir/elementwise_kernels.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/gemm.cpp.o"
+  "CMakeFiles/dlis_backend.dir/gemm.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/gemmlib/autotuner.cpp.o"
+  "CMakeFiles/dlis_backend.dir/gemmlib/autotuner.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/gemmlib/tuned_gemm.cpp.o"
+  "CMakeFiles/dlis_backend.dir/gemmlib/tuned_gemm.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/im2col.cpp.o"
+  "CMakeFiles/dlis_backend.dir/im2col.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/linear_kernels.cpp.o"
+  "CMakeFiles/dlis_backend.dir/linear_kernels.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/oclsim/cl_kernels.cpp.o"
+  "CMakeFiles/dlis_backend.dir/oclsim/cl_kernels.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/oclsim/ndrange.cpp.o"
+  "CMakeFiles/dlis_backend.dir/oclsim/ndrange.cpp.o.d"
+  "CMakeFiles/dlis_backend.dir/winograd.cpp.o"
+  "CMakeFiles/dlis_backend.dir/winograd.cpp.o.d"
+  "libdlis_backend.a"
+  "libdlis_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdlis_backend.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/deep_compression.cpp" "src/compress/CMakeFiles/dlis_compress.dir/deep_compression.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/deep_compression.cpp.o.d"
+  "/root/repo/src/compress/fisher_pruner.cpp" "src/compress/CMakeFiles/dlis_compress.dir/fisher_pruner.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/fisher_pruner.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/compress/CMakeFiles/dlis_compress.dir/huffman.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/huffman.cpp.o.d"
+  "/root/repo/src/compress/magnitude_pruner.cpp" "src/compress/CMakeFiles/dlis_compress.dir/magnitude_pruner.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/magnitude_pruner.cpp.o.d"
+  "/root/repo/src/compress/random_pruner.cpp" "src/compress/CMakeFiles/dlis_compress.dir/random_pruner.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/random_pruner.cpp.o.d"
+  "/root/repo/src/compress/ttq.cpp" "src/compress/CMakeFiles/dlis_compress.dir/ttq.cpp.o" "gcc" "src/compress/CMakeFiles/dlis_compress.dir/ttq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dlis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/dlis_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dlis_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dlis_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dlis_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_compress.dir/deep_compression.cpp.o"
+  "CMakeFiles/dlis_compress.dir/deep_compression.cpp.o.d"
+  "CMakeFiles/dlis_compress.dir/fisher_pruner.cpp.o"
+  "CMakeFiles/dlis_compress.dir/fisher_pruner.cpp.o.d"
+  "CMakeFiles/dlis_compress.dir/huffman.cpp.o"
+  "CMakeFiles/dlis_compress.dir/huffman.cpp.o.d"
+  "CMakeFiles/dlis_compress.dir/magnitude_pruner.cpp.o"
+  "CMakeFiles/dlis_compress.dir/magnitude_pruner.cpp.o.d"
+  "CMakeFiles/dlis_compress.dir/random_pruner.cpp.o"
+  "CMakeFiles/dlis_compress.dir/random_pruner.cpp.o.d"
+  "CMakeFiles/dlis_compress.dir/ttq.cpp.o"
+  "CMakeFiles/dlis_compress.dir/ttq.cpp.o.d"
+  "libdlis_compress.a"
+  "libdlis_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

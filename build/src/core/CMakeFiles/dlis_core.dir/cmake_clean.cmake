@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_core.dir/logging.cpp.o"
+  "CMakeFiles/dlis_core.dir/logging.cpp.o.d"
+  "CMakeFiles/dlis_core.dir/memory_tracker.cpp.o"
+  "CMakeFiles/dlis_core.dir/memory_tracker.cpp.o.d"
+  "CMakeFiles/dlis_core.dir/rng.cpp.o"
+  "CMakeFiles/dlis_core.dir/rng.cpp.o.d"
+  "CMakeFiles/dlis_core.dir/shape.cpp.o"
+  "CMakeFiles/dlis_core.dir/shape.cpp.o.d"
+  "CMakeFiles/dlis_core.dir/tensor.cpp.o"
+  "CMakeFiles/dlis_core.dir/tensor.cpp.o.d"
+  "libdlis_core.a"
+  "libdlis_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

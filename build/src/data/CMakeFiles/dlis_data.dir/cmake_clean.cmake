@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_data.dir/dataset.cpp.o"
+  "CMakeFiles/dlis_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dlis_data.dir/synth_cifar.cpp.o"
+  "CMakeFiles/dlis_data.dir/synth_cifar.cpp.o.d"
+  "libdlis_data.a"
+  "libdlis_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

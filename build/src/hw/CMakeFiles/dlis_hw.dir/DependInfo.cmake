@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cost_model.cpp" "src/hw/CMakeFiles/dlis_hw.dir/cost_model.cpp.o" "gcc" "src/hw/CMakeFiles/dlis_hw.dir/cost_model.cpp.o.d"
+  "/root/repo/src/hw/device.cpp" "src/hw/CMakeFiles/dlis_hw.dir/device.cpp.o" "gcc" "src/hw/CMakeFiles/dlis_hw.dir/device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dlis_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/dlis_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dlis_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

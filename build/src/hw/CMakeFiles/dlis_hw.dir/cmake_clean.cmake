@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/dlis_hw.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dlis_hw.dir/device.cpp.o"
+  "CMakeFiles/dlis_hw.dir/device.cpp.o.d"
+  "libdlis_hw.a"
+  "libdlis_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

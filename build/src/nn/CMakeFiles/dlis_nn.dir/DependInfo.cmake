@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/dlis_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/dlis_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/dlis_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/depthwise_conv2d.cpp" "src/nn/CMakeFiles/dlis_nn.dir/depthwise_conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/depthwise_conv2d.cpp.o.d"
+  "/root/repo/src/nn/fold_bn.cpp" "src/nn/CMakeFiles/dlis_nn.dir/fold_bn.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/fold_bn.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/dlis_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/dlis_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/models/mobilenet.cpp" "src/nn/CMakeFiles/dlis_nn.dir/models/mobilenet.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/models/mobilenet.cpp.o.d"
+  "/root/repo/src/nn/models/model.cpp" "src/nn/CMakeFiles/dlis_nn.dir/models/model.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/models/model.cpp.o.d"
+  "/root/repo/src/nn/models/resnet18.cpp" "src/nn/CMakeFiles/dlis_nn.dir/models/resnet18.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/models/resnet18.cpp.o.d"
+  "/root/repo/src/nn/models/vgg16.cpp" "src/nn/CMakeFiles/dlis_nn.dir/models/vgg16.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/models/vgg16.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "src/nn/CMakeFiles/dlis_nn.dir/network.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/network.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/dlis_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/residual_block.cpp" "src/nn/CMakeFiles/dlis_nn.dir/residual_block.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/residual_block.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/dlis_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/shape_walk.cpp" "src/nn/CMakeFiles/dlis_nn.dir/shape_walk.cpp.o" "gcc" "src/nn/CMakeFiles/dlis_nn.dir/shape_walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backend/CMakeFiles/dlis_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/dlis_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/dlis_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/dlis_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/csr_filter_bank.cpp" "src/sparse/CMakeFiles/dlis_sparse.dir/csr_filter_bank.cpp.o" "gcc" "src/sparse/CMakeFiles/dlis_sparse.dir/csr_filter_bank.cpp.o.d"
+  "/root/repo/src/sparse/packed_ternary.cpp" "src/sparse/CMakeFiles/dlis_sparse.dir/packed_ternary.cpp.o" "gcc" "src/sparse/CMakeFiles/dlis_sparse.dir/packed_ternary.cpp.o.d"
+  "/root/repo/src/sparse/ternary.cpp" "src/sparse/CMakeFiles/dlis_sparse.dir/ternary.cpp.o" "gcc" "src/sparse/CMakeFiles/dlis_sparse.dir/ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlis_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_sparse.dir/csr.cpp.o"
+  "CMakeFiles/dlis_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/dlis_sparse.dir/csr_filter_bank.cpp.o"
+  "CMakeFiles/dlis_sparse.dir/csr_filter_bank.cpp.o.d"
+  "CMakeFiles/dlis_sparse.dir/packed_ternary.cpp.o"
+  "CMakeFiles/dlis_sparse.dir/packed_ternary.cpp.o.d"
+  "CMakeFiles/dlis_sparse.dir/ternary.cpp.o"
+  "CMakeFiles/dlis_sparse.dir/ternary.cpp.o.d"
+  "libdlis_sparse.a"
+  "libdlis_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_stack.dir/baselines.cpp.o"
+  "CMakeFiles/dlis_stack.dir/baselines.cpp.o.d"
+  "CMakeFiles/dlis_stack.dir/calibration.cpp.o"
+  "CMakeFiles/dlis_stack.dir/calibration.cpp.o.d"
+  "CMakeFiles/dlis_stack.dir/inference_stack.cpp.o"
+  "CMakeFiles/dlis_stack.dir/inference_stack.cpp.o.d"
+  "CMakeFiles/dlis_stack.dir/report.cpp.o"
+  "CMakeFiles/dlis_stack.dir/report.cpp.o.d"
+  "libdlis_stack.a"
+  "libdlis_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlis_train.dir/loss.cpp.o"
+  "CMakeFiles/dlis_train.dir/loss.cpp.o.d"
+  "CMakeFiles/dlis_train.dir/sgd.cpp.o"
+  "CMakeFiles/dlis_train.dir/sgd.cpp.o.d"
+  "CMakeFiles/dlis_train.dir/trainer.cpp.o"
+  "CMakeFiles/dlis_train.dir/trainer.cpp.o.d"
+  "libdlis_train.a"
+  "libdlis_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlis_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gemmlib.dir/test_gemmlib.cpp.o"
+  "CMakeFiles/test_gemmlib.dir/test_gemmlib.cpp.o.d"
+  "test_gemmlib"
+  "test_gemmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gemmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradients.dir/test_gradients.cpp.o"
+  "CMakeFiles/test_gradients.dir/test_gradients.cpp.o.d"
+  "test_gradients"
+  "test_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
