@@ -56,7 +56,7 @@ main()
                       fmtDouble(e_b, 1) + " / " + fmtDouble(e_a, 1)});
     }
     table.print();
-    table.writeCsv("ablation_bn_folding.csv");
+    bench::writeBenchOutputs(table, "ablation_bn_folding");
 
     std::printf("\nMobileNet recovers the largest share at 8 threads "
                 "— its batch-norms were almost pure synchronisation "

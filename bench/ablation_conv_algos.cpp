@@ -15,6 +15,7 @@
 #include "backend/im2col.hpp"
 #include "backend/winograd.hpp"
 #include "core/rng.hpp"
+#include "bench_common.hpp"
 #include "stack/report.hpp"
 
 using namespace dlis;
@@ -110,7 +111,7 @@ main()
                       fmtDouble(cols.size() * 4.0 / 1024.0, 1)});
     }
     table.print();
-    table.writeCsv("ablation_conv_algos.csv");
+    bench::writeBenchOutputs(table, "ablation_conv_algos");
 
     std::printf("\nWinograd multiplies are 2.25x fewer by "
                 "construction; whether that wins wall-clock depends "

@@ -16,6 +16,7 @@
 #include "compress/fisher_pruner.hpp"
 #include "compress/random_pruner.hpp"
 #include "data/synth_cifar.hpp"
+#include "bench_common.hpp"
 #include "stack/report.hpp"
 #include "train/trainer.hpp"
 
@@ -91,7 +92,7 @@ main()
                       fmtPercent(random.accuracy)});
     }
     table.print();
-    table.writeCsv("ablation_pruning_strategies.csv");
+    bench::writeBenchOutputs(table, "ablation_pruning_strategies");
 
     std::printf("\nBoth strategies survive moderate pruning after "
                 "fine-tuning (the [35] observation); Fisher's "

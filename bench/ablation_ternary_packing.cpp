@@ -73,7 +73,7 @@ main()
              fmtSeconds(csr_host), fmtSeconds(packed_host)});
     }
     table.print();
-    table.writeCsv("ablation_ternary_packing.csv");
+    bench::writeBenchOutputs(table, "ablation_ternary_packing");
 
     std::printf("\nShape to verify: packed weights an order of "
                 "magnitude (or more) smaller; packed inference slower "

@@ -60,6 +60,19 @@ paperTechniques()
     return t;
 }
 
+/**
+ * Write the standard artefact pair for one bench table: the CSV mirror
+ * "<name>.csv" used by the plotting scripts and a machine-readable
+ * "BENCH_<name>.json" for downstream tooling (numeric cells are JSON
+ * numbers). Both are best-effort; the stdout table stays canonical.
+ */
+inline void
+writeBenchOutputs(const TablePrinter &table, const std::string &name)
+{
+    table.writeCsv(name + ".csv");
+    table.writeJson("BENCH_" + name + ".json");
+}
+
 } // namespace dlis::bench
 
 #endif // DLIS_BENCH_BENCH_COMMON_HPP

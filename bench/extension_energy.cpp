@@ -42,7 +42,7 @@ main()
         }
     }
     table.print();
-    table.writeCsv("extension_energy.csv");
+    bench::writeBenchOutputs(table, "extension_energy");
 
     std::printf("\nReading: channel pruning wins energy for the same "
                 "reason it wins time (less of everything); the CSR "

@@ -37,7 +37,7 @@ main()
                       fmtMb(im2col.scratch)});
     }
     table.print();
-    table.writeCsv("extension_im2col_memory.csv");
+    bench::writeBenchOutputs(table, "extension_im2col_memory");
 
     std::printf("\nim2col pays a scratch buffer of cin*k*k x spatial "
                 "floats per conv layer (up to 9x the activation it "

@@ -54,7 +54,7 @@ main()
                       fmtDouble(actual / expected, 2) + "x"});
     }
     table.print();
-    table.writeCsv("fig1.csv");
+    bench::writeBenchOutputs(table, "fig1");
 
     std::printf("\nDense reference: sim %.4fs (host %.4fs). The actual "
                 "curve never follows the expected curve down — the "

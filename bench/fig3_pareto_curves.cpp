@@ -48,7 +48,7 @@ printCalibratedCurves()
                           "mobilenet", s))});
         }
         t.print();
-        t.writeCsv("fig3a.csv");
+        bench::writeBenchOutputs(t, "fig3a");
     }
     {
         TablePrinter t("Fig 3(b) — accuracy vs channel-pruning "
@@ -65,7 +65,7 @@ printCalibratedCurves()
                           "mobilenet", r))});
         }
         t.print();
-        t.writeCsv("fig3b.csv");
+        bench::writeBenchOutputs(t, "fig3b");
     }
     {
         TablePrinter t("Fig 3(c) — accuracy vs TTQ threshold "
@@ -79,7 +79,7 @@ printCalibratedCurves()
                       fmtPercent(calib::ttqAccuracy("mobilenet", thr))});
         }
         t.print();
-        t.writeCsv("fig3c.csv");
+        bench::writeBenchOutputs(t, "fig3c");
     }
 }
 
@@ -124,7 +124,7 @@ measuredSweep()
                       fmtPercent(model.weightSparsity())});
     }
     t.print();
-    t.writeCsv("fig3a_measured.csv");
+    bench::writeBenchOutputs(t, "fig3a_measured");
 }
 
 } // namespace

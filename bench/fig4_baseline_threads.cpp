@@ -47,7 +47,7 @@ main()
             table.addRow(std::move(row));
         }
         table.print();
-        table.writeCsv("fig4_" + model + ".csv");
+        bench::writeBenchOutputs(table, "fig4_" + model);
     }
 
     std::printf(

@@ -43,7 +43,7 @@ main()
         }
     }
     table.print();
-    table.writeCsv("fig5.csv");
+    bench::writeBenchOutputs(table, "fig5");
 
     std::printf("\nShape to verify: channel pruning fastest per model; "
                 "on the Odroid the channel-pruned VGG-16 and ResNet-18 "

@@ -97,7 +97,7 @@ main()
              fmtSeconds(odroid.estimateOclHandTuned(costs).total())});
     }
     table.print();
-    table.writeCsv("fig6.csv");
+    bench::writeBenchOutputs(table, "fig6");
 
     // Extension: ImageNet-resolution VGG-16 flips the ordering.
     {
@@ -113,7 +113,7 @@ main()
              fmtSeconds(odroid.estimateCpu(costs, 8).total()),
              fmtSeconds(odroid.estimateOclHandTuned(costs).total())});
         ext.print();
-        ext.writeCsv("fig6_imagenet.csv");
+        bench::writeBenchOutputs(ext, "fig6_imagenet");
     }
 
     std::printf("\nShape to verify: at 32x32 the hand-tuned OpenCL "

@@ -4,7 +4,15 @@
  * dense-vs-CSR traversal cost that underlies the paper's sparse
  * slowdown, GEMM blocking, im2col, and the CLBlast-style library's
  * packing overhead on small vs large matrices.
+ *
+ * Each benchmark runs repeated measurements and reports median and
+ * p90 aggregates (not a single mean): kernel times on a shared host
+ * are skewed by scheduler noise, and the median/p90 pair shows both
+ * the typical cost and the tail.
  */
+
+#include <algorithm>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -15,9 +23,31 @@
 #include "backend/winograd.hpp"
 #include "core/rng.hpp"
 #include "core/tensor.hpp"
+#include "obs/stats.hpp"
 
 namespace dlis {
 namespace {
+
+/** p90 aggregate across repetitions, via the shared stats helper. */
+double
+p90Statistic(const std::vector<double> &samples)
+{
+    std::vector<double> sorted(samples);
+    std::sort(sorted.begin(), sorted.end());
+    return obs::percentile(sorted, 90.0);
+}
+
+/**
+ * Register @p fn with the repeat/aggregate policy shared by every
+ * microbenchmark here: 7 repetitions, report median (built-in) and
+ * p90 only. google-benchmark's "median" aggregate across repetitions
+ * replaces the old single-run mean.
+ */
+#define DLIS_BENCHMARK(fn)                                            \
+    BENCHMARK(fn)                                                     \
+        ->Repetitions(7)                                              \
+        ->ComputeStatistics("p90", p90Statistic)                      \
+        ->ReportAggregatesOnly(true)
 
 Tensor
 randomTensor(Shape shape, uint64_t seed)
@@ -45,7 +75,7 @@ BM_ConvDirectDense(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * p.macs()));
 }
-BENCHMARK(BM_ConvDirectDense)->Arg(16)->Arg(32)->Arg(64);
+DLIS_BENCHMARK(BM_ConvDirectDense)->Arg(16)->Arg(32)->Arg(64);
 
 /**
  * CSR-bank conv at a given sparsity percentage: shows the per-MAC
@@ -74,7 +104,7 @@ BM_ConvCsrBank(benchmark::State &state)
     state.counters["sparsity%"] =
         static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_ConvCsrBank)->Arg(0)->Arg(50)->Arg(77)->Arg(90);
+DLIS_BENCHMARK(BM_ConvCsrBank)->Arg(0)->Arg(50)->Arg(77)->Arg(90);
 
 /** Blocked GEMM vs problem size. */
 void
@@ -92,7 +122,7 @@ BM_GemmBlocked(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * n * n * n));
 }
-BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(64)->Arg(128);
+DLIS_BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(64)->Arg(128);
 
 /**
  * The GEMM library's fixed packing/padding work: tiny (CIFAR-shaped)
@@ -115,7 +145,7 @@ BM_GemmLibraryCall(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * m * k * n));
 }
-BENCHMARK(BM_GemmLibraryCall)->Arg(16)->Arg(64)->Arg(1024);
+DLIS_BENCHMARK(BM_GemmLibraryCall)->Arg(16)->Arg(64)->Arg(1024);
 
 /** Winograd F(2x2,3x3) vs the direct kernel on the same layer. */
 void
@@ -134,7 +164,7 @@ BM_ConvWinograd(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(
         state.iterations() * kernels::winogradMultiplies(p)));
 }
-BENCHMARK(BM_ConvWinograd)->Arg(16)->Arg(32)->Arg(64);
+DLIS_BENCHMARK(BM_ConvWinograd)->Arg(16)->Arg(32)->Arg(64);
 
 /** Packed-ternary decode-on-the-fly conv (the §V-D declined path). */
 void
@@ -164,7 +194,7 @@ BM_ConvPackedTernary(benchmark::State &state)
     state.counters["weightKB"] =
         static_cast<double>(packed.storageBytes()) / 1024.0;
 }
-BENCHMARK(BM_ConvPackedTernary)->Arg(50)->Arg(90);
+DLIS_BENCHMARK(BM_ConvPackedTernary)->Arg(50)->Arg(90);
 
 /** im2col expansion rate. */
 void
@@ -181,7 +211,7 @@ BM_Im2col(benchmark::State &state)
     state.SetBytesProcessed(static_cast<int64_t>(
         state.iterations() * cols.size() * sizeof(float)));
 }
-BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
+DLIS_BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
 
 } // namespace
 } // namespace dlis

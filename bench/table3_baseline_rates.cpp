@@ -43,6 +43,6 @@ main()
                                                      r.wpSparsity))});
     }
     table.print();
-    table.writeCsv("table3.csv");
+    bench::writeBenchOutputs(table, "table3");
     return 0;
 }

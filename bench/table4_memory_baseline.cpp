@@ -47,9 +47,9 @@ main()
         table.addRow(std::move(row));
     }
     table.print();
-    table.writeCsv("table4.csv");
+    bench::writeBenchOutputs(table, "table4");
     detail.print();
-    detail.writeCsv("table4_detail.csv");
+    bench::writeBenchOutputs(detail, "table4_detail");
 
     std::printf("\nShape to verify: w-pruning and quantisation exceed "
                 "plain (CSR metadata on 3x3/1x1 filters); channel "

@@ -41,6 +41,6 @@ main()
              fmtPercent(calib::ttqAccuracy(model, r.ttqThreshold))});
     }
     table.print();
-    table.writeCsv("table5.csv");
+    bench::writeBenchOutputs(table, "table5");
     return 0;
 }

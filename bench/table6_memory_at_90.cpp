@@ -32,6 +32,6 @@ main()
         table.addRow(std::move(row));
     }
     table.print();
-    table.writeCsv("table6.csv");
+    bench::writeBenchOutputs(table, "table6");
     return 0;
 }

@@ -12,16 +12,24 @@
  *             [--threads <n>]            simulated OpenMP threads
  *             [--platform odroid|i7]
  *             [--backend openmp|opencl|clblast]
+ *             [--repeat <n>]             host-timing repeats (default 1)
+ *             [--trace <out.json>]       Chrome/Perfetto span trace
+ *             [--metrics <out.json>]     expected-vs-actual report JSON
  *
  * Prints the configured stack's achieved compression, simulated
- * platform time, host-measured time, and memory footprint.
+ * platform time, host-measured time, and memory footprint. With
+ * --repeat > 1 the host time becomes a p50/p90/p99 distribution and
+ * the expected-vs-actual table is printed per conv layer.
  */
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "core/logging.hpp"
 #include "hw/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stack/inference_stack.hpp"
 #include "stack/report.hpp"
 
@@ -102,9 +110,39 @@ main(int argc, char **argv)
         fatal("unknown backend '", backend, "'");
     }
 
+    const size_t repeats = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--repeat", "1")));
+    const std::string tracePath =
+        argValue(argc, argv, "--trace", "");
+    const std::string metricsPath =
+        argValue(argc, argv, "--metrics", "");
+
+    obs::Tracer tracer;
+    obs::Metrics metrics;
     ExecContext ctx;
-    const double host = stack.measureHostSeconds(ctx, 1);
+    if (!tracePath.empty())
+        ctx.tracer = &tracer;
+    if (!tracePath.empty() || !metricsPath.empty() || repeats > 1)
+        ctx.metrics = &metrics;
+
+    const RunReport run =
+        collectRunReport(stack, ctx, repeats ? repeats : 1);
     const Footprint fp = stack.measureFootprint();
+
+    if (!tracePath.empty()) {
+        if (tracer.writeChromeTrace(tracePath))
+            std::printf("trace: %zu spans -> %s (open in "
+                        "ui.perfetto.dev or chrome://tracing)\n",
+                        tracer.eventCount(), tracePath.c_str());
+        else
+            warn("could not write trace to ", tracePath);
+    }
+    if (!metricsPath.empty()) {
+        if (writeRunReportJson(run, metricsPath))
+            std::printf("metrics: %s\n", metricsPath.c_str());
+        else
+            warn("could not write metrics to ", metricsPath);
+    }
 
     std::printf("stack: %s | %s | rate %.2f | %s | width %.2f\n",
                 model.c_str(), techniqueName(config.technique), rate,
@@ -118,11 +156,19 @@ main(int argc, char **argv)
                 fmtPercent(stack.macFraction()).c_str());
     std::printf("  sim %s/%s x%d:    %.4f s\n", device.name.c_str(),
                 backend.c_str(), threads, simulated);
-    std::printf("  host serial:      %.4f s\n", host);
+    if (run.repeats > 1)
+        std::printf("  host serial:      p50 %.4f s  p90 %.4f s  "
+                    "p99 %.4f s (%zu repeats)\n",
+                    run.latency.p50, run.latency.p90, run.latency.p99,
+                    run.repeats);
+    else
+        std::printf("  host serial:      %.4f s\n", run.latency.p50);
     std::printf("  memory: total %s MB (weights %s, csr-meta %s, "
                 "activations %s)\n",
                 fmtMb(fp.total).c_str(), fmtMb(fp.weights).c_str(),
                 fmtMb(fp.sparseMeta).c_str(),
                 fmtMb(fp.activations).c_str());
+    if (ctx.metrics)
+        printRunReport(run);
     return 0;
 }

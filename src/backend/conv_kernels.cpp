@@ -104,7 +104,8 @@ csrConvOneChannel(const ConvParams &p, const float *input,
 void
 csrBankConvOneChannel(const ConvParams &p, const float *input,
                       const CsrFilterBank &bank, const float *bias,
-                      float *output, size_t img, size_t oc)
+                      float *output, size_t img, size_t oc,
+                      obs::Counter *rowVisits)
 {
     const size_t ho = p.hout(), wo = p.wout();
     const float *in_img = input + img * p.cin * p.hin * p.win;
@@ -113,6 +114,16 @@ csrBankConvOneChannel(const ConvParams &p, const float *input,
 
     for (size_t i = 0; i < ho * wo; ++i)
         out_ch[i] = b;
+
+    // Row-visit accounting, in LayerCost::sparseRowVisits units (per
+    // output pixel, per slice, per kernel row): this scatter kernel
+    // hoists the row walk out of the spatial loop, so each of the
+    // cin*kh row inspections it performs here stands in for the ho*wo
+    // per-pixel walks the paper's gather kernel would do. Charging
+    // pixel units keeps observed counts join-able with the predicted
+    // LayerCost::sparseRowVisits, exactly.
+    if (rowVisits)
+        rowVisits->add(static_cast<uint64_t>(p.cin) * p.kh * ho * wo);
 
     for (size_t ci = 0; ci < p.cin; ++ci) {
         const CsrSlice &s = bank.slice(oc, ci);
@@ -150,7 +161,8 @@ void
 packedTernaryConvOneChannel(const ConvParams &p, const float *input,
                             const PackedTernary &weight,
                             const float *bias, float *output,
-                            size_t img, size_t oc)
+                            size_t img, size_t oc,
+                            obs::Counter *decodeCounter)
 {
     const size_t ho = p.hout(), wo = p.wout();
     const float *in_img = input + img * p.cin * p.hin * p.win;
@@ -158,6 +170,7 @@ packedTernaryConvOneChannel(const ConvParams &p, const float *input,
     const float b = bias ? bias[oc] : 0.0f;
     const size_t filter = p.cin * p.kh * p.kw;
     const float wp = weight.wp(), wn = weight.wn();
+    uint64_t decodes = 0;
 
     for (size_t oy = 0; oy < ho; ++oy) {
         for (size_t ox = 0; ox < wo; ++ox) {
@@ -184,6 +197,7 @@ packedTernaryConvOneChannel(const ConvParams &p, const float *input,
                             ix >= static_cast<ptrdiff_t>(p.win))
                             continue;
                         const float v = weight.decode(idx);
+                        ++decodes;
                         if (v > 0.0f)
                             pos += in_ch[iy * p.win + ix];
                         else if (v < 0.0f)
@@ -194,6 +208,8 @@ packedTernaryConvOneChannel(const ConvParams &p, const float *input,
             out_ch[oy * wo + ox] = b + wp * pos - wn * neg;
         }
     }
+    if (decodeCounter)
+        decodeCounter->add(decodes);
 }
 
 /** One (image, channel) pair of a depthwise direct conv. */
@@ -245,6 +261,8 @@ forEachImageChannel(size_t images, size_t channels,
     const size_t total = images * channels;
 #if DLIS_HAVE_OPENMP
     if (policy.threads > 1) {
+        if (policy.counters.ompRegions)
+            policy.counters.ompRegions->add(1);
         if (policy.dynamicSchedule) {
             #pragma omp parallel for schedule(dynamic) \
                 num_threads(policy.threads)
@@ -305,7 +323,8 @@ convDirectCsrBank(const ConvParams &p, const float *input,
                ", ", p.kh, ", ", p.kw, "]");
     forEachImageChannel(p.n, p.cout, policy,
         [&](size_t img, size_t oc) {
-            csrBankConvOneChannel(p, input, bank, bias, output, img, oc);
+            csrBankConvOneChannel(p, input, bank, bias, output, img, oc,
+                                  policy.counters.csrRowVisits);
         });
 }
 
@@ -320,7 +339,8 @@ convDirectPackedTernary(const ConvParams &p, const float *input,
     forEachImageChannel(p.n, p.cout, policy,
         [&](size_t img, size_t oc) {
             packedTernaryConvOneChannel(p, input, weight, bias, output,
-                                        img, oc);
+                                        img, oc,
+                                        policy.counters.ternaryDecodes);
         });
 }
 

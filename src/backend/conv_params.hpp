@@ -9,6 +9,7 @@
 #include <cstddef>
 
 #include "core/error.hpp"
+#include "obs/counters.hpp"
 
 namespace dlis {
 
@@ -49,11 +50,19 @@ struct ConvParams
     }
 };
 
-/** Threading policy handed to kernels. */
+/** Threading policy (and observability handles) handed to kernels. */
 struct KernelPolicy
 {
     int threads = 1;       //!< OpenMP thread count (1 = serial path)
     bool dynamicSchedule = true; //!< dynamic loop scheduling (paper's choice)
+    /**
+     * Counter handles the kernel publishes into (all-null = not
+     * measured; layers fill them from ExecContext::metrics so counts
+     * are attributed per layer). Not part of the threading policy
+     * proper, but carried here so every kernel signature stays
+     * unchanged and the disabled path costs one branch.
+     */
+    obs::KernelCounters counters{};
 };
 
 } // namespace dlis

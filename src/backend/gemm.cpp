@@ -34,6 +34,11 @@ gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
     const size_t tn = tileN ? tileN : 64;
     const size_t tk = tileK ? tileK : 64;
 
+    if (policy.counters.gemmCalls)
+        policy.counters.gemmCalls->add(1);
+    if (policy.counters.gemmMacs)
+        policy.counters.gemmMacs->add(static_cast<uint64_t>(m) * k * n);
+
     std::memset(c, 0, m * n * sizeof(float));
 
     const size_t row_tiles = (m + tm - 1) / tm;
@@ -60,14 +65,14 @@ gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
 
 #if DLIS_HAVE_OPENMP
     if (policy.threads > 1) {
+        if (policy.counters.ompRegions)
+            policy.counters.ompRegions->add(1);
         #pragma omp parallel for schedule(dynamic) \
             num_threads(policy.threads)
         for (size_t ti = 0; ti < row_tiles; ++ti)
             tile_body(ti);
         return;
     }
-#else
-    (void)policy;
 #endif
     for (size_t ti = 0; ti < row_tiles; ++ti)
         tile_body(ti);

@@ -21,6 +21,8 @@ linearDense(const float *in, const float *weight, const float *bias,
     const size_t total = batch * outFeatures;
 #if DLIS_HAVE_OPENMP
     if (policy.threads > 1) {
+        if (policy.counters.ompRegions)
+            policy.counters.ompRegions->add(1);
         #pragma omp parallel for schedule(dynamic) \
             num_threads(policy.threads)
         for (size_t i = 0; i < total; ++i)
@@ -39,7 +41,6 @@ linearCsr(const float *in, const CsrMatrix &weight, const float *bias,
           float *out, size_t batch, size_t inFeatures, size_t outFeatures,
           const KernelPolicy &policy)
 {
-    (void)policy;
     DLIS_CHECK(weight.rows() == outFeatures &&
                weight.cols() == inFeatures,
                "CSR weight is ", weight.rows(), "x", weight.cols(),
@@ -47,6 +48,11 @@ linearCsr(const float *in, const CsrMatrix &weight, const float *bias,
     const auto &row_ptr = weight.rowPtr();
     const auto &col_idx = weight.colIdx();
     const auto &vals = weight.values();
+    // One CSR row walk per (batch item, output feature) — the same
+    // unit LayerCost::sparseRowVisits predicts for a sparse FC layer.
+    if (policy.counters.csrRowVisits)
+        policy.counters.csrRowVisits->add(
+            static_cast<uint64_t>(batch) * outFeatures);
     for (size_t b = 0; b < batch; ++b) {
         const float *in_row = in + b * inFeatures;
         float *out_row = out + b * outFeatures;

@@ -1,6 +1,9 @@
 #include "core/logging.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
 
@@ -8,7 +11,31 @@ namespace dlis {
 
 namespace {
 
-std::atomic<LogLevel> globalLevel{LogLevel::Warn};
+/**
+ * Initial verbosity from the DLIS_LOG_LEVEL environment variable:
+ * "silent"/"0", "warn"/"1" (the default), or "inform"/"info"/"2".
+ * Unrecognised values keep the default so a typo never hides warnings.
+ */
+LogLevel
+levelFromEnv()
+{
+    const char *env = std::getenv("DLIS_LOG_LEVEL");
+    if (!env || !*env)
+        return LogLevel::Warn;
+    std::string v(env);
+    std::transform(v.begin(), v.end(), v.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (v == "silent" || v == "0")
+        return LogLevel::Silent;
+    if (v == "warn" || v == "warning" || v == "1")
+        return LogLevel::Warn;
+    if (v == "inform" || v == "info" || v == "2")
+        return LogLevel::Inform;
+    return LogLevel::Warn;
+}
+
+std::atomic<LogLevel> globalLevel{levelFromEnv()};
 std::mutex outputMutex;
 
 } // namespace

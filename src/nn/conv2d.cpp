@@ -7,6 +7,8 @@
 #include "backend/im2col.hpp"
 #include "backend/winograd.hpp"
 #include "backend/oclsim/cl_kernels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dlis {
 
@@ -90,20 +92,22 @@ Conv2d::forward(const Tensor &input, ExecContext &ctx)
         if (format_ == WeightFormat::Csr) {
             kernels::convDirectCsrBank(p, input.data(), *bank_,
                                        bias_ptr, out.data(),
-                                       ctx.policy());
+                                       kernelPolicy(ctx));
         } else if (format_ == WeightFormat::PackedTernary) {
             kernels::convDirectPackedTernary(p, input.data(), *packed_,
                                              bias_ptr, out.data(),
-                                             ctx.policy());
+                                             kernelPolicy(ctx));
         } else if (ctx.convAlgo == ConvAlgo::Im2colGemm) {
             return forwardIm2col(input, ctx);
         } else if (ctx.convAlgo == ConvAlgo::Winograd &&
                    kernels::winogradApplicable(p)) {
             kernels::convWinograd(p, input.data(), weight_.data(),
-                                  bias_ptr, out.data(), ctx.policy());
+                                  bias_ptr, out.data(),
+                                  kernelPolicy(ctx));
         } else {
             kernels::convDirectDense(p, input.data(), weight_.data(),
-                                     bias_ptr, out.data(), ctx.policy());
+                                     bias_ptr, out.data(),
+                                     kernelPolicy(ctx));
         }
         break;
       case Backend::OclHandTuned:
@@ -127,13 +131,21 @@ Conv2d::forwardIm2col(const Tensor &input, ExecContext &ctx)
     Tensor cols(Shape{ck, ho * wo}, MemClass::Scratch);
     Tensor out(outputShape(input.shape()));
     const float *bias_ptr = withBias_ ? bias_.data() : nullptr;
+    const KernelPolicy pol = kernelPolicy(ctx);
 
     for (size_t img = 0; img < p.n; ++img) {
         const float *in_img = input.data() + img * cin_ * p.hin * p.win;
         float *out_img = out.data() + img * cout_ * ho * wo;
 
-        kernels::im2col(p, in_img, cols.data());
+        {
+            obs::TraceSpan span(ctx.tracer, name_ + ".im2col",
+                                "kernel");
+            kernels::im2col(p, in_img, cols.data());
+        }
+        if (pol.counters.im2colBytes)
+            pol.counters.im2colBytes->add(cols.bytes());
 
+        obs::TraceSpan gemmSpan(ctx.tracer, name_ + ".gemm", "kernel");
         if (ctx.backend == Backend::OclGemmLib) {
             DLIS_CHECK(ctx.gemmLib,
                        "OclGemmLib backend needs ctx.gemmLib");
@@ -145,11 +157,12 @@ Conv2d::forwardIm2col(const Tensor &input, ExecContext &ctx)
                 ctx.queue->recordTransfer(out.bytes() / p.n, false);
             }
             ctx.gemmLib->gemm(weight_.data(), cols.data(), out_img,
-                              cout_, ck, ho * wo, ctx.policy());
+                              cout_, ck, ho * wo, pol);
         } else {
             kernels::gemmBlocked(weight_.data(), cols.data(), out_img,
-                                 cout_, ck, ho * wo, ctx.policy());
+                                 cout_, ck, ho * wo, pol);
         }
+        gemmSpan.finish();
         if (bias_ptr) {
             for (size_t oc = 0; oc < cout_; ++oc) {
                 float *ch = out_img + oc * ho * wo;

@@ -88,7 +88,7 @@ DepthwiseConv2d::forward(const Tensor &input, ExecContext &ctx)
     // paper's GEMM transformation only covers standard convolutions.
     kernels::convDepthwiseDense(p, input.data(), weight_.data(),
                                 withBias_ ? bias_.data() : nullptr,
-                                out.data(), ctx.policy());
+                                out.data(), kernelPolicy(ctx));
     return out;
 }
 

@@ -17,6 +17,11 @@
 
 namespace dlis {
 
+namespace obs {
+class Tracer;
+class Metrics;
+} // namespace obs
+
 /** Systems-layer candidate (paper §IV-D). */
 enum class Backend
 {
@@ -62,6 +67,18 @@ struct ExecContext
 
     /** GEMM library instance for Backend::OclGemmLib (not owned). */
     gemmlib::GemmLibrary *gemmLib = nullptr;
+
+    /**
+     * Span tracer (not owned). Null disables tracing entirely; the
+     * instrumented paths then pay one branch per span.
+     */
+    obs::Tracer *tracer = nullptr;
+
+    /**
+     * Counter registry (not owned). Null disables counting; layers
+     * otherwise attribute kernel counters under their own name.
+     */
+    obs::Metrics *metrics = nullptr;
 
     /** Threading policy handed to CPU kernels. */
     KernelPolicy

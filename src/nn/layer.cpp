@@ -1,5 +1,7 @@
 #include "nn/layer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace dlis {
 
 const char *
@@ -49,6 +51,15 @@ Layer::cost(const Shape &input) const
     c.outputBytes = outputShape(input).numel() * sizeof(float);
     c.parallel = false;
     return c;
+}
+
+KernelPolicy
+Layer::kernelPolicy(const ExecContext &ctx) const
+{
+    KernelPolicy pol = ctx.policy();
+    if (ctx.metrics)
+        pol.counters = ctx.metrics->kernelCounters(name_);
+    return pol;
 }
 
 size_t

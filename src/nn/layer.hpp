@@ -61,6 +61,13 @@ class Layer
     size_t parameterCount();
 
   protected:
+    /**
+     * ctx.policy() with this layer's counter handles attached when
+     * ctx.metrics is set, so kernel counts are attributed under this
+     * layer's name. One registry acquisition per layer invocation.
+     */
+    KernelPolicy kernelPolicy(const ExecContext &ctx) const;
+
     std::string name_;
 };
 

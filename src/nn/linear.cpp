@@ -52,11 +52,11 @@ Linear::forward(const Tensor &input, ExecContext &ctx)
     if (format_ == WeightFormat::Csr) {
         kernels::linearCsr(input.data(), *csr_, bias_.data(), out.data(),
                            batch, inFeatures_, outFeatures_,
-                           ctx.policy());
+                           kernelPolicy(ctx));
     } else {
         kernels::linearDense(input.data(), weight_.data(), bias_.data(),
                              out.data(), batch, inFeatures_,
-                             outFeatures_, ctx.policy());
+                             outFeatures_, kernelPolicy(ctx));
     }
     return out;
 }

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/trace.hpp"
+
 namespace dlis {
 
 Layer *
@@ -31,8 +33,10 @@ Tensor
 Network::forward(const Tensor &input, ExecContext &ctx)
 {
     Tensor x = input;
-    for (auto &layer : layers_)
+    for (auto &layer : layers_) {
+        obs::TraceSpan span(ctx.tracer, layer->name(), "layer");
         x = layer->forward(x, ctx);
+    }
     return x;
 }
 
@@ -44,6 +48,7 @@ Network::forwardProfiled(const Tensor &input, ExecContext &ctx,
     timings.reserve(layers_.size());
     Tensor x = input;
     for (auto &layer : layers_) {
+        obs::TraceSpan span(ctx.tracer, layer->name(), "layer");
         const auto t0 = std::chrono::steady_clock::now();
         x = layer->forward(x, ctx);
         const auto t1 = std::chrono::steady_clock::now();

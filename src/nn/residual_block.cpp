@@ -1,5 +1,7 @@
 #include "nn/residual_block.hpp"
 
+#include "obs/trace.hpp"
+
 namespace dlis {
 
 ResidualBlock::ResidualBlock(std::string name, size_t cin, size_t cout,
@@ -40,15 +42,26 @@ ResidualBlock::outputShape(const Shape &input) const
 Tensor
 ResidualBlock::forward(const Tensor &input, ExecContext &ctx)
 {
-    Tensor main = conv1_->forward(input, ctx);
+    // Nested spans for the compute-heavy internal stages so block
+    // traces decompose the same way stageCosts does.
+    Tensor main;
+    {
+        obs::TraceSpan span(ctx.tracer, conv1_->name(), "layer");
+        main = conv1_->forward(input, ctx);
+    }
     main = bn1_->forward(main, ctx);
     main = relu1_->forward(main, ctx);
-    main = conv2_->forward(main, ctx);
+    {
+        obs::TraceSpan span(ctx.tracer, conv2_->name(), "layer");
+        main = conv2_->forward(main, ctx);
+    }
     main = bn2_->forward(main, ctx);
 
     Tensor skip;
     if (proj_) {
+        obs::TraceSpan span(ctx.tracer, proj_->name(), "layer");
         skip = proj_->forward(input, ctx);
+        span.finish();
         skip = projBn_->forward(skip, ctx);
     } else {
         skip = input;

@@ -1,0 +1,80 @@
+#include "obs/metrics.hpp"
+
+namespace dlis::obs {
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        it = counters_.emplace(name, std::make_unique<Counter>())
+                 .first;
+    return *it->second;
+}
+
+const Counter *
+Metrics::find(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? nullptr : it->second.get();
+}
+
+uint64_t
+Metrics::value(const std::string &name) const
+{
+    const Counter *c = find(name);
+    return c ? c->value() : 0;
+}
+
+std::map<std::string, uint64_t>
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, counter] : counters_)
+        out.emplace(name, counter->value());
+    return out;
+}
+
+std::map<std::string, uint64_t>
+Metrics::scopeSnapshot(const std::string &scope) const
+{
+    const std::string prefix = scope + ".";
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, uint64_t> out;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.rfind(prefix, 0) == 0;
+         ++it)
+        out.emplace(it->first.substr(prefix.size()),
+                    it->second->value());
+    return out;
+}
+
+void
+Metrics::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+}
+
+KernelCounters
+Metrics::kernelCounters(const std::string &scope)
+{
+    KernelCounters out;
+    out.csrRowVisits =
+        &counter(scope + "." + counter_names::csrRowVisits);
+    out.ternaryDecodes =
+        &counter(scope + "." + counter_names::ternaryDecodes);
+    out.gemmCalls = &counter(scope + "." + counter_names::gemmCalls);
+    out.gemmMacs = &counter(scope + "." + counter_names::gemmMacs);
+    out.im2colBytes =
+        &counter(scope + "." + counter_names::im2colBytes);
+    out.ompRegions =
+        &counter(scope + "." + counter_names::ompRegions);
+    return out;
+}
+
+} // namespace dlis::obs

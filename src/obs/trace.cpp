@@ -1,0 +1,126 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace dlis::obs {
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now())
+{}
+
+uint64_t
+Tracer::nowNs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+Tracer::record(std::string name, std::string category,
+               uint64_t startNs, uint64_t durationNs)
+{
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.category = std::move(category);
+    ev.tid = currentThreadId();
+    ev.startNs = startNs;
+    ev.durationNs = durationNs;
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(ev));
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+Tracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+uint32_t
+Tracer::currentThreadId()
+{
+    static std::atomic<uint32_t> next{0};
+    thread_local uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+Tracer::writeChromeTrace(std::ostream &os) const
+{
+    const auto snapshot = events();
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto &ev : snapshot) {
+        if (!first)
+            os << ",";
+        first = false;
+        // Chrome trace-event timestamps are microseconds; emit with
+        // ns precision so sub-microsecond spans stay distinguishable.
+        os << "\n{\"name\":\"" << jsonEscape(ev.name)
+           << "\",\"cat\":\""
+           << jsonEscape(ev.category.empty() ? "span" : ev.category)
+           << "\",\"ph\":\"X\",\"ts\":"
+           << static_cast<double>(ev.startNs) / 1000.0
+           << ",\"dur\":"
+           << static_cast<double>(ev.durationNs) / 1000.0
+           << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    writeChromeTrace(out);
+    return static_cast<bool>(out);
+}
+
+} // namespace dlis::obs

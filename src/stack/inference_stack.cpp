@@ -8,6 +8,7 @@
 #include "compress/magnitude_pruner.hpp"
 #include "compress/ttq.hpp"
 #include "core/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace dlis {
 
@@ -204,6 +205,13 @@ double
 InferenceStack::measureHostSeconds(ExecContext &ctx, size_t reps,
                                    size_t batch)
 {
+    return measureHostStats(ctx, reps, batch).p50;
+}
+
+obs::LatencyStats
+InferenceStack::measureHostStats(ExecContext &ctx, size_t reps,
+                                 size_t batch)
+{
     Rng rng(config_.seed + 99);
     Tensor input(inputShape(batch));
     input.fillNormal(rng, 0.0f, 1.0f);
@@ -211,14 +219,15 @@ InferenceStack::measureHostSeconds(ExecContext &ctx, size_t reps,
     std::vector<double> times;
     times.reserve(reps);
     for (size_t r = 0; r < reps; ++r) {
+        obs::TraceSpan span(ctx.tracer,
+                            "forward#" + std::to_string(r), "network");
         const auto t0 = std::chrono::steady_clock::now();
         Tensor out = model_.net.forward(input, ctx);
         const auto t1 = std::chrono::steady_clock::now();
         times.push_back(
             std::chrono::duration<double>(t1 - t0).count());
     }
-    std::sort(times.begin(), times.end());
-    return times[times.size() / 2];
+    return obs::LatencyStats::from(std::move(times));
 }
 
 Footprint

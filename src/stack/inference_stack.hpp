@@ -21,6 +21,7 @@
 
 #include "nn/models/model.hpp"
 #include "nn/shape_walk.hpp"
+#include "obs/stats.hpp"
 
 namespace dlis {
 
@@ -92,6 +93,16 @@ class InferenceStack
      */
     double measureHostSeconds(ExecContext &ctx, size_t reps = 3,
                               size_t batch = 1);
+
+    /**
+     * Full latency distribution (p50/p90/p99/mean) over @p reps
+     * repeated forwards on this host. Any tracer/metrics attached to
+     * @p ctx observe every repeat, so one call yields the latency
+     * stats, the per-layer spans, and the kernel counters of the same
+     * run.
+     */
+    obs::LatencyStats measureHostStats(ExecContext &ctx, size_t reps,
+                                       size_t batch = 1);
 
     /**
      * Peak-byte footprint of one inference (serial). The paper's

@@ -1,13 +1,64 @@
 #include "stack/report.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 
 #include "core/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "stack/inference_stack.hpp"
 
 namespace dlis {
+
+namespace {
+
+/** True when @p cell parses fully as a JSON-compatible number. */
+bool
+isNumericCell(const std::string &cell)
+{
+    if (cell.empty())
+        return false;
+    std::istringstream iss(cell);
+    double value = 0.0;
+    iss >> value;
+    return iss.eof() && !iss.fail() && std::isfinite(value);
+}
+
+/** Emit @p cell as a JSON value (number when it parses as one). */
+void
+writeJsonCell(std::ostream &out, const std::string &cell)
+{
+    if (isNumericCell(cell))
+        out << cell;
+    else
+        out << '"' << obs::jsonEscape(cell) << '"';
+}
+
+const char *
+convAlgoName(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::Direct:     return "direct";
+      case ConvAlgo::Im2colGemm: return "im2col-gemm";
+      case ConvAlgo::Winograd:   return "winograd";
+    }
+    return "?";
+}
+
+void
+writeLatencyJson(std::ostream &out, const obs::LatencyStats &s)
+{
+    out << "{\"count\": " << s.count << ", \"mean\": " << s.mean
+        << ", \"min\": " << s.min << ", \"max\": " << s.max
+        << ", \"p50\": " << s.p50 << ", \"p90\": " << s.p90
+        << ", \"p99\": " << s.p99 << '}';
+}
+
+} // namespace
 
 TablePrinter::TablePrinter(std::string title)
     : title_(std::move(title))
@@ -73,6 +124,192 @@ TablePrinter::writeCsv(const std::string &path) const
     write_row(header_);
     for (const auto &row : rows_)
         write_row(row);
+}
+
+void
+TablePrinter::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        // JSON mirrors are best-effort; the stdout table is canonical.
+        return;
+    }
+    out << std::setprecision(12);
+    out << "{\"title\": \"" << obs::jsonEscape(title_)
+        << "\", \"rows\": [";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+        out << (r ? ",\n  " : "\n  ") << '{';
+        const auto &row = rows_[r];
+        for (size_t i = 0; i < row.size() && i < header_.size(); ++i) {
+            out << (i ? ", " : "") << '"'
+                << obs::jsonEscape(header_[i]) << "\": ";
+            writeJsonCell(out, row[i]);
+        }
+        out << '}';
+    }
+    out << "\n]}\n";
+}
+
+RunReport
+collectRunReport(InferenceStack &stack, ExecContext &ctx,
+                 size_t repeats, size_t batch)
+{
+    DLIS_CHECK(repeats > 0, "collectRunReport needs repeats > 0");
+    obs::Metrics local;
+    obs::Metrics *metrics = ctx.metrics ? ctx.metrics : &local;
+    metrics->reset();
+    obs::Metrics *saved = ctx.metrics;
+    ctx.metrics = metrics;
+
+    Rng rng(stack.config().seed + 99);
+    Tensor input(stack.inputShape(batch));
+    input.fillNormal(rng, 0.0f, 1.0f);
+
+    // Per-repeat forwards; forwardProfiled yields the per-layer wall
+    // clock (top-level layers — residual blocks time as one stage).
+    std::vector<double> forwardTimes;
+    forwardTimes.reserve(repeats);
+    std::map<std::string, std::vector<double>> layerTimes;
+    std::vector<LayerTiming> timings;
+    for (size_t r = 0; r < repeats; ++r) {
+        obs::TraceSpan span(ctx.tracer,
+                            "forward#" + std::to_string(r), "network");
+        const auto t0 = std::chrono::steady_clock::now();
+        Tensor out =
+            stack.model().net.forwardProfiled(input, ctx, timings);
+        const auto t1 = std::chrono::steady_clock::now();
+        forwardTimes.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+        for (const auto &t : timings)
+            layerTimes[t.name].push_back(t.seconds);
+    }
+    ctx.metrics = saved;
+
+    const StackConfig &cfg = stack.config();
+    RunReport rep;
+    rep.model = cfg.modelName;
+    rep.technique = techniqueName(cfg.technique);
+    rep.format = weightFormatName(cfg.format);
+    rep.backend = backendName(ctx.backend);
+    rep.convAlgo = convAlgoName(ctx.convAlgo);
+    rep.threads = ctx.threads;
+    rep.repeats = repeats;
+    rep.batch = batch;
+    rep.latency = obs::LatencyStats::from(std::move(forwardTimes));
+    rep.counters = metrics->snapshot();
+
+    for (LayerCost &cost : stack.stageCosts(batch)) {
+        LayerObservation entry;
+        entry.expected = std::move(cost);
+        // Counters are deterministic per forward: report the
+        // per-forward value so it joins LayerCost directly.
+        for (const auto &[leaf, total] :
+             metrics->scopeSnapshot(entry.expected.name)) {
+            if (total)
+                entry.observed[leaf] = total / repeats;
+        }
+        auto it = layerTimes.find(entry.expected.name);
+        if (it != layerTimes.end())
+            entry.latency = obs::LatencyStats::from(
+                std::move(it->second));
+        rep.layers.push_back(std::move(entry));
+    }
+    return rep;
+}
+
+void
+printRunReport(const RunReport &report)
+{
+    std::ostringstream title;
+    title << "expected vs actual: " << report.model << " / "
+          << report.technique << " / " << report.format << " / "
+          << report.backend << " x" << report.threads << " ("
+          << report.repeats << " repeats)";
+    TablePrinter table(title.str());
+    table.setHeader({"layer", "exp macs", "obs gemm macs",
+                     "exp row visits", "obs row visits",
+                     "obs ternary dec", "p50 ms"});
+
+    auto cnt = [](const LayerObservation &l, const char *key) {
+        auto it = l.observed.find(key);
+        return it == l.observed.end() ? std::string("-")
+                                      : std::to_string(it->second);
+    };
+    for (const LayerObservation &l : report.layers) {
+        // Only compute stages carry counters; skip pure bookkeeping
+        // rows (ReLU, BatchNorm, flatten) to keep the table readable.
+        if (l.expected.macs == 0 && l.observed.empty())
+            continue;
+        table.addRow(
+            {l.expected.name, std::to_string(l.expected.macs),
+             cnt(l, obs::counter_names::gemmMacs),
+             l.expected.sparseRowVisits
+                 ? std::to_string(l.expected.sparseRowVisits)
+                 : "-",
+             cnt(l, obs::counter_names::csrRowVisits),
+             cnt(l, obs::counter_names::ternaryDecodes),
+             l.latency.count ? fmtDouble(l.latency.p50 * 1e3, 3)
+                             : "-"});
+    }
+    table.print();
+    std::cout << "forward latency: p50 " << fmtSeconds(report.latency.p50)
+              << "s  p90 " << fmtSeconds(report.latency.p90)
+              << "s  p99 " << fmtSeconds(report.latency.p99)
+              << "s  mean " << fmtSeconds(report.latency.mean)
+              << "s over " << report.latency.count << " repeats\n";
+}
+
+bool
+writeRunReportJson(const RunReport &report, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << std::setprecision(12);
+    out << "{\n"
+        << "  \"schema\": \"dlis.metrics.v1\",\n"
+        << "  \"config\": {"
+        << "\"model\": \"" << obs::jsonEscape(report.model)
+        << "\", \"technique\": \"" << obs::jsonEscape(report.technique)
+        << "\", \"format\": \"" << obs::jsonEscape(report.format)
+        << "\", \"backend\": \"" << obs::jsonEscape(report.backend)
+        << "\", \"conv_algo\": \"" << obs::jsonEscape(report.convAlgo)
+        << "\", \"threads\": " << report.threads
+        << ", \"repeats\": " << report.repeats
+        << ", \"batch\": " << report.batch << "},\n"
+        << "  \"latency_s\": ";
+    writeLatencyJson(out, report.latency);
+    out << ",\n  \"layers\": [";
+    for (size_t i = 0; i < report.layers.size(); ++i) {
+        const LayerObservation &l = report.layers[i];
+        const LayerCost &e = l.expected;
+        out << (i ? ",\n    " : "\n    ") << "{\"name\": \""
+            << obs::jsonEscape(e.name) << "\",\n"
+            << "     \"expected\": {\"dense_macs\": " << e.denseMacs
+            << ", \"macs\": " << e.macs
+            << ", \"weight_bytes\": " << e.weightBytes
+            << ", \"input_bytes\": " << e.inputBytes
+            << ", \"output_bytes\": " << e.outputBytes
+            << ", \"sparse_row_visits\": " << e.sparseRowVisits
+            << ", \"gemm\": {\"m\": " << e.gemmM << ", \"k\": "
+            << e.gemmK << ", \"n\": " << e.gemmN << ", \"images\": "
+            << e.images << "}},\n"
+            << "     \"observed\": {";
+        size_t j = 0;
+        for (const auto &[leaf, value] : l.observed)
+            out << (j++ ? ", " : "") << '"' << obs::jsonEscape(leaf)
+                << "\": " << value;
+        out << "},\n     \"latency_s\": ";
+        writeLatencyJson(out, l.latency);
+        out << '}';
+    }
+    out << "\n  ],\n  \"counters\": {";
+    size_t j = 0;
+    for (const auto &[name, value] : report.counters)
+        out << (j++ ? ", " : "") << "\n    \"" << obs::jsonEscape(name)
+            << "\": " << value;
+    out << "\n  }\n}\n";
+    return static_cast<bool>(out);
 }
 
 std::string

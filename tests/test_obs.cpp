@@ -1,0 +1,422 @@
+/**
+ * @file
+ * Observability layer: span tracer (nesting, thread-safety, Chrome
+ * JSON export), counter registry (cross-thread sums, per-layer
+ * scoping), latency statistics, and the expected-vs-actual run report
+ * — including the contract that observed CSR row visits match
+ * LayerCost::sparseRowVisits exactly on a weight-pruned CSR model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "backend/conv_kernels.hpp"
+#include "core/rng.hpp"
+#include "core/tensor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
+#include "stack/inference_stack.hpp"
+#include "stack/report.hpp"
+
+using namespace dlis;
+
+namespace {
+
+/**
+ * Minimal JSON validity checker (objects, arrays, strings, numbers,
+ * literals) — enough to prove the emitted traces/reports parse.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(std::string_view text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return false;
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (!consume('"'))
+            return false;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        return consume('"');
+    }
+
+    bool
+    number()
+    {
+        const size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            ++pos_;
+            if (consume('}'))
+                return true;
+            do {
+                if (!string() || !consume(':') || !value())
+                    return false;
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos_;
+            if (consume(']'))
+                return true;
+            do {
+                if (!value())
+                    return false;
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+};
+
+Tensor
+randomTensor(Shape shape, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor t(std::move(shape));
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+} // namespace
+
+TEST(Tracer, RecordsNestedSpansInOrder)
+{
+    obs::Tracer tracer;
+    {
+        obs::TraceSpan outer(&tracer, "outer", "test");
+        {
+            obs::TraceSpan inner(&tracer, "inner", "test");
+        }
+    }
+    // Inner destructs first, so it is recorded first.
+    const auto events = tracer.events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].name, "inner");
+    EXPECT_EQ(events[1].name, "outer");
+    // Time containment: the outer span brackets the inner one.
+    EXPECT_LE(events[1].startNs, events[0].startNs);
+    EXPECT_GE(events[1].startNs + events[1].durationNs,
+              events[0].startNs + events[0].durationNs);
+}
+
+TEST(Tracer, FinishIsIdempotent)
+{
+    obs::Tracer tracer;
+    obs::TraceSpan span(&tracer, "s", "test");
+    span.finish();
+    span.finish(); // second finish must not double-record
+    EXPECT_EQ(tracer.eventCount(), 1u);
+}
+
+TEST(Tracer, NullTracerRecordsNothing)
+{
+    obs::TraceSpan span(nullptr, "ignored");
+    span.finish(); // must be safe
+}
+
+TEST(Tracer, ThreadSafeRecording)
+{
+    obs::Tracer tracer;
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 200;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&tracer] {
+            for (int i = 0; i < kSpansPerThread; ++i)
+                obs::TraceSpan span(&tracer, "work", "test");
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(tracer.eventCount(),
+              static_cast<size_t>(kThreads) * kSpansPerThread);
+}
+
+TEST(Tracer, ChromeTraceJsonParses)
+{
+    obs::Tracer tracer;
+    {
+        obs::TraceSpan span(&tracer, "layer \"quoted\"\n", "layer");
+        obs::TraceSpan inner(&tracer, "kernel", "kernel");
+    }
+    std::ostringstream oss;
+    tracer.writeChromeTrace(oss);
+    const std::string json = oss.str();
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    // Special characters survive escaped, never raw.
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+}
+
+TEST(Metrics, CountersSumAcrossThreads)
+{
+    obs::Metrics metrics;
+    obs::Counter &counter = metrics.counter("shared");
+    constexpr int kThreads = 8;
+    constexpr uint64_t kAddsPerThread = 10000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&counter] {
+            for (uint64_t i = 0; i < kAddsPerThread; ++i)
+                counter.add(1);
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_EQ(metrics.value("shared"), kThreads * kAddsPerThread);
+}
+
+TEST(Metrics, ScopeSnapshotKeysByLeaf)
+{
+    obs::Metrics metrics;
+    metrics.counter("conv1.csr_row_visits").add(7);
+    metrics.counter("conv1.gemm_macs").add(9);
+    metrics.counter("conv10.gemm_macs").add(3); // different scope
+    const auto scoped = metrics.scopeSnapshot("conv1");
+    ASSERT_EQ(scoped.size(), 2u);
+    EXPECT_EQ(scoped.at("csr_row_visits"), 7u);
+    EXPECT_EQ(scoped.at("gemm_macs"), 9u);
+    metrics.reset();
+    EXPECT_EQ(metrics.value("conv1.gemm_macs"), 0u);
+}
+
+TEST(Metrics, CsrKernelCountMatchesFormulaAcrossOmpThreads)
+{
+    // The CSR bank kernel must charge exactly cin*kh*ho*wo row visits
+    // per (image, output channel) — LayerCost::sparseRowVisits' unit —
+    // regardless of sparsity or thread count.
+    const size_t c = 16;
+    ConvParams p{1, c, 16, 16, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 16, 16}, 3);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 4);
+    Rng rng(5);
+    for (size_t i = 0; i < w.numel(); ++i)
+        if (rng.bernoulli(0.8))
+            w[i] = 0.0f;
+    const CsrFilterBank bank = CsrFilterBank::fromFilter(w);
+    Tensor out(Shape{1, c, 16, 16});
+
+    const uint64_t expected = static_cast<uint64_t>(p.n) * p.cout *
+                              p.cin * p.kh * p.hout() * p.wout();
+    for (int threads : {1, 4}) {
+        obs::Metrics metrics;
+        KernelPolicy pol{threads, true};
+        pol.counters = metrics.kernelCounters("k");
+        kernels::convDirectCsrBank(p, in.data(), bank, nullptr,
+                                   out.data(), pol);
+        EXPECT_EQ(metrics.value("k.csr_row_visits"), expected)
+            << "threads=" << threads;
+    }
+}
+
+TEST(Stats, PercentileInterpolatesBetweenRanks)
+{
+    std::vector<double> sorted(100);
+    for (int i = 0; i < 100; ++i)
+        sorted[static_cast<size_t>(i)] = i + 1.0; // 1..100
+    EXPECT_DOUBLE_EQ(obs::percentile(sorted, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::percentile(sorted, 100.0), 100.0);
+    EXPECT_DOUBLE_EQ(obs::percentile(sorted, 50.0), 50.5);
+    EXPECT_NEAR(obs::percentile(sorted, 90.0), 90.1, 1e-9);
+    EXPECT_EQ(obs::percentile({}, 50.0), 0.0);
+}
+
+TEST(Stats, LatencyStatsFromSamples)
+{
+    const auto s = obs::LatencyStats::from({0.003, 0.001, 0.002});
+    EXPECT_EQ(s.count, 3u);
+    EXPECT_DOUBLE_EQ(s.min, 0.001);
+    EXPECT_DOUBLE_EQ(s.max, 0.003);
+    EXPECT_DOUBLE_EQ(s.p50, 0.002);
+    EXPECT_NEAR(s.mean, 0.002, 1e-12);
+}
+
+TEST(RunReport, DisabledObservabilityIsBitIdentical)
+{
+    StackConfig config;
+    config.modelName = "mobilenet";
+    config.widthMult = 0.25;
+    InferenceStack stack(config);
+
+    Tensor input = randomTensor(stack.inputShape(1), 42);
+
+    ExecContext plain;
+    const Tensor ref = stack.model().net.forward(input, plain);
+
+    obs::Tracer tracer;
+    obs::Metrics metrics;
+    ExecContext observed;
+    observed.tracer = &tracer;
+    observed.metrics = &metrics;
+    const Tensor traced = stack.model().net.forward(input, observed);
+
+    ASSERT_EQ(ref.numel(), traced.numel());
+    EXPECT_EQ(std::memcmp(ref.data(), traced.data(),
+                          ref.numel() * sizeof(float)),
+              0);
+    EXPECT_GT(tracer.eventCount(), 0u);
+}
+
+TEST(RunReport, ObservedCsrRowVisitsMatchPrediction)
+{
+    // The acceptance contract: on a weight-pruned CSR model the
+    // kernels must walk exactly as many CSR rows as the cost model
+    // predicts (LayerCost::sparseRowVisits), layer by layer.
+    StackConfig config;
+    config.modelName = "mobilenet";
+    config.widthMult = 0.25;
+    config.technique = Technique::WeightPruning;
+    config.wpSparsity = 0.7;
+    config.format = WeightFormat::Csr;
+    InferenceStack stack(config);
+
+    obs::Tracer tracer;
+    ExecContext ctx;
+    ctx.tracer = &tracer;
+    const size_t repeats = 3;
+    const RunReport report = collectRunReport(stack, ctx, repeats);
+
+    EXPECT_EQ(report.repeats, repeats);
+    EXPECT_EQ(report.latency.count, repeats);
+    EXPECT_GT(report.latency.p50, 0.0);
+
+    size_t sparseLayers = 0;
+    for (const LayerObservation &l : report.layers) {
+        if (!l.expected.sparseTraversal)
+            continue;
+        ++sparseLayers;
+        const auto it =
+            l.observed.find(obs::counter_names::csrRowVisits);
+        ASSERT_NE(it, l.observed.end()) << l.expected.name;
+        EXPECT_EQ(it->second, l.expected.sparseRowVisits)
+            << l.expected.name;
+    }
+    EXPECT_GT(sparseLayers, 0u);
+
+    // One "forward#r" parent span per repeat, each with layer spans.
+    size_t forwards = 0;
+    for (const auto &e : tracer.events())
+        if (e.category == "network")
+            ++forwards;
+    EXPECT_EQ(forwards, repeats);
+}
+
+TEST(RunReport, JsonOutputsParse)
+{
+    StackConfig config;
+    config.modelName = "mobilenet";
+    config.widthMult = 0.25;
+    config.technique = Technique::WeightPruning;
+    config.wpSparsity = 0.7;
+    config.format = WeightFormat::Csr;
+    InferenceStack stack(config);
+
+    obs::Tracer tracer;
+    ExecContext ctx;
+    ctx.tracer = &tracer;
+    const RunReport report = collectRunReport(stack, ctx, 2);
+
+    const std::string metricsPath =
+        testing::TempDir() + "dlis_metrics.json";
+    const std::string tracePath = testing::TempDir() + "dlis_trace.json";
+    ASSERT_TRUE(writeRunReportJson(report, metricsPath));
+    ASSERT_TRUE(tracer.writeChromeTrace(tracePath));
+
+    for (const std::string &path : {metricsPath, tracePath}) {
+        std::ifstream in(path);
+        ASSERT_TRUE(in) << path;
+        std::stringstream buf;
+        buf << in.rdbuf();
+        EXPECT_TRUE(JsonChecker(buf.str()).valid()) << path;
+    }
+
+    std::ifstream in(metricsPath);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_NE(buf.str().find("\"dlis.metrics.v1\""), std::string::npos);
+    EXPECT_NE(buf.str().find("csr_row_visits"), std::string::npos);
+}
