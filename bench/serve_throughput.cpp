@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Serving-layer throughput: batch=1 one-at-a-time inference vs the
+ * concurrent batched engine (src/serve) on the same stack.
+ *
+ * The paper measures single-image latency; a serving deployment cares
+ * about sustained throughput, where batching is the dominant knob
+ * (Pochelu 2022) and request-level scheduling the second (OODIn
+ * 2021). This bench quantifies both on this host: for each model and
+ * CPU backend it measures
+ *   serial:  N requests forwarded one at a time, batch=1, one thread
+ *            of control (the paper's measurement loop);
+ *   batched: the same N requests fired in a burst at the engine,
+ *            which coalesces them into up-to-maxBatch forwards on a
+ *            worker pool.
+ * The speedup column is batched/serial image throughput. Batching
+ * wins by amortising per-forward fixed costs — layer dispatch,
+ * activation-tensor allocation, and above all (OpenMP backend) one
+ * parallel-region launch per parallel kernel per forward: at
+ * serving-size widths those launches dominate a batch=1 MobileNet
+ * forward, and one batch of 48 pays them once instead of 48 times.
+ * The models run at width 0.125 (the serving-size end of MobileNet's
+ * width-multiplier family; all three models keep every layer) and the
+ * OpenMP rows use 8 threads, the paper's full-platform Odroid
+ * configuration (Fig 4).
+ *
+ * Writes serve_throughput.csv + BENCH_serve_throughput.json.
+ */
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/logging.hpp"
+#include "core/rng.hpp"
+#include "serve/engine.hpp"
+
+using namespace dlis;
+
+namespace {
+
+/** Requests per (model, backend) cell. */
+constexpr size_t kRequests = 96;
+
+/** Images/second for one-at-a-time batch=1 forwards. */
+double
+serialThroughput(InferenceStack &stack, Backend backend, int threads,
+                 const std::vector<Tensor> &inputs)
+{
+    ExecContext ctx;
+    ctx.backend = backend;
+    ctx.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    for (const Tensor &input : inputs)
+        (void)stack.model().net.forward(input, ctx);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(inputs.size()) / seconds;
+}
+
+/** Images/second through the batched engine (burst submission). */
+double
+batchedThroughput(InferenceStack &stack, Backend backend, int threads,
+                  const std::vector<Tensor> &inputs)
+{
+    serve::ServeConfig config;
+    config.backend = backend;
+    config.threads = threads;
+    config.workers = 1;
+    config.maxBatch = 48;
+    config.maxDelayUs = 5000;
+    config.queueCapacity = inputs.size();
+    serve::InferenceEngine engine(stack, config);
+
+    std::vector<std::future<Tensor>> futures;
+    futures.reserve(inputs.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const Tensor &input : inputs)
+        futures.push_back(engine.submit(input));
+    for (auto &f : futures)
+        (void)f.get();
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    engine.shutdown();
+    return static_cast<double>(inputs.size()) / seconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    setLogLevel(LogLevel::Warn);
+
+    TablePrinter table(
+        "Serving throughput: batch=1 serial vs batched engine "
+        "(imgs/s, " + std::to_string(kRequests) + " requests, "
+        "width 0.125, max-batch 48, OpenMP x8)");
+    table.setHeader({"model", "backend", "serial", "batched",
+                     "speedup"});
+
+    const std::vector<std::string> models{"mobilenet", "resnet18",
+                                          "vgg16"};
+    const std::vector<std::pair<Backend, int>> backends{
+        {Backend::Serial, 1}, {Backend::OpenMP, 8}};
+
+    for (const std::string &model : models) {
+        StackConfig config;
+        config.modelName = model;
+        config.widthMult = 0.125; // serving-size variants, same layers
+        InferenceStack stack(config);
+
+        std::vector<Tensor> inputs;
+        inputs.reserve(kRequests);
+        for (size_t i = 0; i < kRequests; ++i) {
+            Rng rng(42, i);
+            Tensor image(stack.inputShape(1));
+            image.fillNormal(rng, 0.0f, 1.0f);
+            inputs.push_back(std::move(image));
+        }
+
+        for (const auto &[backend, threads] : backends) {
+            // Warm one forward so first-touch costs hit neither side.
+            ExecContext warm;
+            warm.backend = backend;
+            warm.threads = threads;
+            (void)stack.model().net.forward(inputs.front(), warm);
+
+            const double serial =
+                serialThroughput(stack, backend, threads, inputs);
+            const double batched =
+                batchedThroughput(stack, backend, threads, inputs);
+            table.addRow({model, backendName(backend),
+                          fmtDouble(serial, 1), fmtDouble(batched, 1),
+                          fmtDouble(batched / serial, 2)});
+        }
+    }
+
+    table.print();
+    bench::writeBenchOutputs(table, "serve_throughput");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * serve_cli — run the concurrent batched-inference engine against a
+ * synthetic open-loop arrival trace.
+ *
+ * Usage:
+ *   serve_cli [--model vgg16|resnet18|mobilenet]
+ *             [--width <mult>]        width multiplier (default 0.5)
+ *             [--technique plain|wp|cp|ttq] [--rate-param <fraction>]
+ *             [--format dense|csr|packed]
+ *             [--backend serial|openmp] [--threads <n>]
+ *             [--workers <n>]         pool size (default 2)
+ *             [--max-batch <n>]       coalescing limit (default 8)
+ *             [--max-delay-us <n>]    batching linger (default 2000)
+ *             [--queue <n>]           admission bound (default 64)
+ *             [--requests <n>]        trace length (default 256)
+ *             [--rate <req/s>]        Poisson arrival rate (default 500)
+ *             [--seed <n>]            trace seed (default 1)
+ *
+ * Prints offered vs served throughput, enqueue-to-reply latency
+ * percentiles, the realised batch-size histogram, and the engine's
+ * admission counters — the serving-layer face of the paper's
+ * across-stack characterisation.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/engine.hpp"
+#include "serve/replay.hpp"
+#include "stack/inference_stack.hpp"
+
+using namespace dlis;
+
+namespace {
+
+const char *
+argValue(int argc, char **argv, const char *flag, const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    StackConfig config;
+    config.modelName = argValue(argc, argv, "--model", "mobilenet");
+    config.widthMult =
+        std::stod(argValue(argc, argv, "--width", "0.5"));
+
+    const std::string technique =
+        argValue(argc, argv, "--technique", "plain");
+    const double rateParam =
+        std::stod(argValue(argc, argv, "--rate-param", "0.5"));
+    if (technique == "wp") {
+        config.technique = Technique::WeightPruning;
+        config.wpSparsity = rateParam;
+    } else if (technique == "cp") {
+        config.technique = Technique::ChannelPruning;
+        config.cpRate = rateParam;
+    } else if (technique == "ttq") {
+        config.technique = Technique::Quantisation;
+        config.ttqSparsity = rateParam;
+        config.ttqThreshold = 0.1;
+    } else if (technique != "plain") {
+        fatal("unknown technique '", technique, "'");
+    }
+
+    const std::string format =
+        argValue(argc, argv, "--format", "dense");
+    if (format == "csr")
+        config.format = WeightFormat::Csr;
+    else if (format == "packed")
+        config.format = WeightFormat::PackedTernary;
+    else if (format != "dense")
+        fatal("unknown format '", format, "'");
+
+    serve::ServeConfig serveConfig;
+    const std::string backend =
+        argValue(argc, argv, "--backend", "serial");
+    if (backend == "openmp")
+        serveConfig.backend = Backend::OpenMP;
+    else if (backend != "serial")
+        fatal("serve supports the serial and openmp backends, not '",
+              backend, "'");
+    serveConfig.threads =
+        std::stoi(argValue(argc, argv, "--threads", "4"));
+    serveConfig.workers = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--workers", "2")));
+    serveConfig.maxBatch = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--max-batch", "8")));
+    serveConfig.maxDelayUs = static_cast<uint64_t>(
+        std::stoull(argValue(argc, argv, "--max-delay-us", "2000")));
+    serveConfig.queueCapacity = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--queue", "64")));
+
+    serve::ReplayConfig replay;
+    replay.requests = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--requests", "256")));
+    replay.ratePerSec =
+        std::stod(argValue(argc, argv, "--rate", "500"));
+    replay.seed = static_cast<uint64_t>(
+        std::stoull(argValue(argc, argv, "--seed", "1")));
+
+    std::printf("serve: %s width %.2f | %s | %s backend x%d | "
+                "%zu workers | max-batch %zu | linger %llu us | "
+                "queue %zu\n",
+                config.modelName.c_str(), config.widthMult,
+                techniqueName(config.technique),
+                backend.c_str(), serveConfig.threads,
+                serveConfig.workers, serveConfig.maxBatch,
+                static_cast<unsigned long long>(
+                    serveConfig.maxDelayUs),
+                serveConfig.queueCapacity);
+
+    InferenceStack stack(config);
+    obs::Metrics metrics;
+    serve::InferenceEngine engine(stack, serveConfig, &metrics);
+
+    const serve::ReplayReport report =
+        serve::replayOpenLoop(engine, replay);
+    engine.shutdown();
+    serve::printReplayReport(report);
+
+    const serve::EngineStats stats = engine.stats();
+    std::printf("  engine:     %llu batches | queue peak %zu | "
+                "%llu rejected\n",
+                static_cast<unsigned long long>(stats.batches),
+                stats.queuePeak,
+                static_cast<unsigned long long>(stats.rejected));
+    return 0;
+}

@@ -15,11 +15,21 @@
  *             [--repeat <n>]             host-timing repeats (default 1)
  *             [--trace <out.json>]       Chrome/Perfetto span trace
  *             [--metrics <out.json>]     expected-vs-actual report JSON
+ *             [--serve-sim]              replay an open-loop arrival
+ *                                        trace through the serving
+ *                                        engine instead of measuring
+ *                                        one-shot inference
+ *             [--requests <n>] [--rate <req/s>] [--workers <n>]
+ *             [--max-batch <n>]          serve-sim parameters
  *
  * Prints the configured stack's achieved compression, simulated
  * platform time, host-measured time, and memory footprint. With
  * --repeat > 1 the host time becomes a p50/p90/p99 distribution and
- * the expected-vs-actual table is printed per conv layer.
+ * the expected-vs-actual table is printed per conv layer. With
+ * --serve-sim the stack is instead stood up behind the concurrent
+ * batched-inference engine (src/serve) and hammered with a synthetic
+ * Poisson arrival trace; the report is throughput, latency
+ * percentiles, and the realised batch-size histogram.
  */
 
 #include <cstdio>
@@ -30,6 +40,8 @@
 #include "hw/cost_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/replay.hpp"
 #include "stack/inference_stack.hpp"
 #include "stack/report.hpp"
 
@@ -44,6 +56,53 @@ argValue(int argc, char **argv, const char *flag, const char *fallback)
         if (std::strcmp(argv[i], flag) == 0)
             return argv[i + 1];
     return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/** --serve-sim mode: open-loop replay through the serving engine. */
+int
+runServeSim(int argc, char **argv, InferenceStack &stack,
+            const std::string &backend, int threads)
+{
+    serve::ServeConfig serveConfig;
+    // The serving pool runs on the host CPU: the OpenCL backends are
+    // simulations of other devices and would serialise on the queue
+    // model, so everything that is not "openmp" serves serially.
+    serveConfig.backend =
+        backend == "openmp" ? Backend::OpenMP : Backend::Serial;
+    serveConfig.threads = threads;
+    serveConfig.workers = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--workers", "2")));
+    serveConfig.maxBatch = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--max-batch", "8")));
+
+    serve::ReplayConfig replay;
+    replay.requests = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--requests", "256")));
+    replay.ratePerSec =
+        std::stod(argValue(argc, argv, "--rate", "500"));
+
+    obs::Metrics metrics;
+    serve::InferenceEngine engine(stack, serveConfig, &metrics);
+    const serve::ReplayReport report =
+        serve::replayOpenLoop(engine, replay);
+    engine.shutdown();
+    serve::printReplayReport(report);
+    const serve::EngineStats stats = engine.stats();
+    std::printf("  engine:     %llu batches | queue peak %zu | "
+                "%llu rejected\n",
+                static_cast<unsigned long long>(stats.batches),
+                stats.queuePeak,
+                static_cast<unsigned long long>(stats.rejected));
+    return 0;
 }
 
 } // namespace
@@ -93,6 +152,9 @@ main(int argc, char **argv)
         fatal("unknown format '", format, "'");
 
     InferenceStack stack(config);
+
+    if (hasFlag(argc, argv, "--serve-sim"))
+        return runServeSim(argc, argv, stack, backend, threads);
 
     const DeviceModel device =
         platform == "i7" ? intelCoreI7() : odroidXu4();

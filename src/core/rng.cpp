@@ -8,15 +8,21 @@ namespace dlis {
 
 namespace {
 
+/** splitmix64 finaliser (fixed point at 0: mix64(0) == 0). */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 /** splitmix64 step: used only for seeding the main state. */
 uint64_t
 splitmix64(uint64_t &x)
 {
     x += 0x9E3779B97F4A7C15ull;
-    uint64_t z = x;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
+    return mix64(x);
 }
 
 uint64_t
@@ -27,10 +33,16 @@ rotl(uint64_t x, int k)
 
 } // namespace
 
-Rng::Rng(uint64_t seed)
+Rng::Rng(uint64_t seed) : Rng(seed, 0) {}
+
+Rng::Rng(uint64_t seed, uint64_t streamId)
     : cachedNormal_(0.0), hasCachedNormal_(false)
 {
-    uint64_t sm = seed;
+    // Splitmix-style stream derivation: finalise the stream id and
+    // fold it into the seed. mix64(0) == 0, so stream 0 seeds exactly
+    // like the historical single-stream constructor.
+    streamBase_ = seed + mix64(streamId);
+    uint64_t sm = streamBase_;
     for (auto &s : state_)
         s = splitmix64(sm);
 }
@@ -111,7 +123,10 @@ Rng::bernoulli(double p)
 Rng
 Rng::split()
 {
-    return Rng(nextU64());
+    // Stream-id derivation instead of drawing from this generator's
+    // state: the parent's future sequence is unaffected, and child k
+    // is the same stream no matter when it is split off.
+    return Rng(streamBase_, ++splitCount_);
 }
 
 } // namespace dlis

@@ -40,4 +40,56 @@ LatencyStats::from(std::vector<double> samples)
     return s;
 }
 
+BucketHistogram::BucketHistogram(size_t maxValue)
+    : buckets_(maxValue + 1)
+{
+}
+
+void
+BucketHistogram::record(size_t value) noexcept
+{
+    const size_t i = std::min(value, buckets_.size() - 1);
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+BucketHistogram::count(size_t value) const noexcept
+{
+    const size_t i = std::min(value, buckets_.size() - 1);
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+uint64_t
+BucketHistogram::total() const noexcept
+{
+    uint64_t sum = 0;
+    for (const auto &b : buckets_)
+        sum += b.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::vector<uint64_t>
+BucketHistogram::counts() const
+{
+    std::vector<uint64_t> out(buckets_.size());
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        out[i] = buckets_[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+std::string
+BucketHistogram::str() const
+{
+    std::string out;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+        if (c == 0)
+            continue;
+        if (!out.empty())
+            out += ' ';
+        out += std::to_string(i) + ':' + std::to_string(c);
+    }
+    return out.empty() ? "(empty)" : out;
+}
+
 } // namespace dlis::obs

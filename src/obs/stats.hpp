@@ -9,7 +9,11 @@
 #ifndef DLIS_OBS_STATS_HPP
 #define DLIS_OBS_STATS_HPP
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace dlis::obs {
@@ -33,6 +37,40 @@ struct LatencyStats
 
     /** Compute from raw samples (order irrelevant; copied locally). */
     static LatencyStats from(std::vector<double> samples);
+};
+
+/**
+ * Fixed-bucket histogram of small integer values (e.g. the serving
+ * engine's realised batch sizes, buckets 0..maxValue). record() is
+ * lock-free and safe from any thread; values above maxValue clamp
+ * into the last bucket.
+ */
+class BucketHistogram
+{
+  public:
+    /** Buckets for values 0..maxValue inclusive. */
+    explicit BucketHistogram(size_t maxValue);
+
+    /** Count one observation of @p value. Thread-safe. */
+    void record(size_t value) noexcept;
+
+    /** Largest representable value (last, clamping bucket). */
+    size_t maxValue() const { return buckets_.size() - 1; }
+
+    /** Count in the bucket for @p value (clamped). */
+    uint64_t count(size_t value) const noexcept;
+
+    /** Total observations across all buckets. */
+    uint64_t total() const noexcept;
+
+    /** Snapshot of all bucket counts, index = value. */
+    std::vector<uint64_t> counts() const;
+
+    /** Compact "v:count" rendering of the non-zero buckets. */
+    std::string str() const;
+
+  private:
+    std::vector<std::atomic<uint64_t>> buckets_;
 };
 
 } // namespace dlis::obs

@@ -1,0 +1,255 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "obs/trace.hpp"
+#include "stack/inference_stack.hpp"
+
+namespace dlis::serve {
+
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::QueueFull: return "queue-full";
+      case RejectReason::ShutDown:  return "shut-down";
+      case RejectReason::BadShape:  return "bad-shape";
+    }
+    return "?";
+}
+
+RejectedError::RejectedError(RejectReason reason)
+    : std::runtime_error(std::string("request rejected: ") +
+                         rejectReasonName(reason)),
+      reason_(reason)
+{
+}
+
+InferenceEngine::InferenceEngine(InferenceStack &stack,
+                                 ServeConfig config,
+                                 obs::Metrics *metrics,
+                                 obs::Tracer *tracer)
+    : stack_(stack), config_(config), metrics_(metrics),
+      tracer_(tracer), requestShape_(stack.inputShape(1)),
+      queue_(config.queueCapacity),
+      batchHist_(std::max<size_t>(config.maxBatch, 1))
+{
+    DLIS_CHECK(config_.workers > 0, "engine needs at least one worker");
+    DLIS_CHECK(config_.maxBatch > 0, "maxBatch must be positive");
+    DLIS_CHECK(config_.queueCapacity > 0,
+               "queueCapacity must be positive");
+    if (!config_.startPaused)
+        resume();
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    shutdown();
+}
+
+std::future<Tensor>
+InferenceEngine::submit(Tensor input)
+{
+    Request req;
+    req.input = std::move(input);
+    req.enqueued = std::chrono::steady_clock::now();
+    std::future<Tensor> future = req.promise.get_future();
+
+    RejectReason reason{};
+    bool rejected = false;
+    if (req.input.shape() != requestShape_) {
+        reason = RejectReason::BadShape;
+        rejected = true;
+    } else if (!accepting_.load(std::memory_order_acquire)) {
+        reason = RejectReason::ShutDown;
+        rejected = true;
+    } else if (!queue_.tryPush(std::move(req))) {
+        // tryPush left req intact; distinguish full from racing close.
+        reason = accepting_.load(std::memory_order_acquire)
+                     ? RejectReason::QueueFull
+                     : RejectReason::ShutDown;
+        rejected = true;
+    }
+
+    if (rejected) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        bumpCounter(obs::counter_names::serveRejected);
+        req.promise.set_exception(
+            std::make_exception_ptr(RejectedError(reason)));
+        return future;
+    }
+
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    bumpCounter(obs::counter_names::serveSubmitted);
+    const size_t depth = queue_.size();
+    size_t peak = queuePeak_.load(std::memory_order_relaxed);
+    while (depth > peak &&
+           !queuePeak_.compare_exchange_weak(
+               peak, depth, std::memory_order_relaxed)) {
+    }
+    return future;
+}
+
+void
+InferenceEngine::resume()
+{
+    std::lock_guard<std::mutex> lock(lifecycleMutex_);
+    if (started_ || shutdown_)
+        return;
+    started_ = true;
+    pool_.reserve(config_.workers);
+    for (size_t i = 0; i < config_.workers; ++i)
+        pool_.emplace_back([this, i] { workerLoop(i); });
+}
+
+void
+InferenceEngine::shutdown()
+{
+    accepting_.store(false, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(lifecycleMutex_);
+        if (shutdown_)
+            return;
+        shutdown_ = true;
+        // A paused engine still owes results for everything it
+        // admitted: bring the pool up so the queue drains.
+        if (!started_) {
+            started_ = true;
+            pool_.reserve(config_.workers);
+            for (size_t i = 0; i < config_.workers; ++i)
+                pool_.emplace_back([this, i] { workerLoop(i); });
+        }
+    }
+    queue_.close();
+    for (auto &t : pool_)
+        if (t.joinable())
+            t.join();
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    EngineStats s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.queuePeak = queuePeak_.load(std::memory_order_relaxed);
+    s.batchHistogram = batchHist_.counts();
+    {
+        std::lock_guard<std::mutex> lock(latencyMutex_);
+        s.latency = obs::LatencyStats::from(latencySeconds_);
+    }
+    return s;
+}
+
+void
+InferenceEngine::workerLoop(size_t workerId)
+{
+    ExecContext ctx;
+    ctx.backend = config_.backend;
+    ctx.threads = config_.threads;
+    ctx.convAlgo = config_.convAlgo;
+    ctx.metrics = metrics_;
+    ctx.tracer = tracer_;
+
+    for (;;) {
+        std::vector<Request> batch;
+        {
+            auto first = queue_.pop();
+            if (!first)
+                return; // closed and drained
+            batch.push_back(std::move(*first));
+        }
+        const auto deadline =
+            batch.front().enqueued +
+            std::chrono::microseconds(config_.maxDelayUs);
+        while (batch.size() < config_.maxBatch) {
+            auto next = queue_.popUntil(deadline);
+            if (!next)
+                break; // linger expired, or closed and drained
+            batch.push_back(std::move(*next));
+        }
+        runBatch(batch, ctx, workerId);
+    }
+}
+
+void
+InferenceEngine::runBatch(std::vector<Request> &batch, ExecContext &ctx,
+                          size_t workerId)
+{
+    const size_t k = batch.size();
+    const size_t perImage = requestShape_.numel();
+
+    std::vector<size_t> inDims = requestShape_.dims();
+    inDims[0] = k;
+    Tensor input((Shape(inDims)));
+    for (size_t i = 0; i < k; ++i)
+        std::memcpy(input.data() + i * perImage,
+                    batch[i].input.data(), perImage * sizeof(float));
+
+    try {
+        Tensor output;
+        {
+            obs::TraceSpan span(tracer_,
+                                "serve.worker" +
+                                    std::to_string(workerId) +
+                                    ".batch" + std::to_string(k),
+                                "serve");
+            output = stack_.model().net.forward(input, ctx);
+        }
+        DLIS_ASSERT(output.shape().rank() >= 1 &&
+                        output.shape()[0] == k,
+                    "batched forward returned wrong leading dim");
+
+        std::vector<size_t> rowDims = output.shape().dims();
+        rowDims[0] = 1;
+        const Shape rowShape(rowDims);
+        const size_t rowNumel = output.numel() / k;
+        std::vector<Tensor> rows;
+        rows.reserve(k);
+        for (size_t i = 0; i < k; ++i) {
+            rows.emplace_back(rowShape);
+            std::memcpy(rows.back().data(),
+                        output.data() + i * rowNumel,
+                        rowNumel * sizeof(float));
+        }
+
+        // Account the batch before fulfilling any promise: a client
+        // that observes its future ready must also observe this batch
+        // in stats().
+        const auto done = std::chrono::steady_clock::now();
+        {
+            std::lock_guard<std::mutex> lock(latencyMutex_);
+            for (const Request &req : batch)
+                latencySeconds_.push_back(
+                    std::chrono::duration<double>(done - req.enqueued)
+                        .count());
+        }
+        completed_.fetch_add(k, std::memory_order_relaxed);
+        bumpCounter(obs::counter_names::serveCompleted, k);
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        bumpCounter(obs::counter_names::serveBatches);
+        batchHist_.record(k);
+
+        for (size_t i = 0; i < k; ++i)
+            batch[i].promise.set_value(std::move(rows[i]));
+    } catch (...) {
+        batches_.fetch_add(1, std::memory_order_relaxed);
+        bumpCounter(obs::counter_names::serveBatches);
+        batchHist_.record(k);
+        const auto error = std::current_exception();
+        for (auto &req : batch)
+            req.promise.set_exception(error);
+    }
+}
+
+void
+InferenceEngine::bumpCounter(const char *leaf, uint64_t n)
+{
+    if (metrics_)
+        metrics_->counter(std::string("serve.") + leaf).add(n);
+}
+
+} // namespace dlis::serve

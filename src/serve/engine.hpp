@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Concurrent batched-inference engine.
+ *
+ * The paper characterises one image through one stack configuration;
+ * this module is the step towards the ROADMAP's serving scenario:
+ * many clients submit single-image requests concurrently, and a pool
+ * of worker threads coalesces them into batched NCHW forwards through
+ * a shared InferenceStack.
+ *
+ * Request lifecycle:
+ *   submit() -> bounded queue -> worker pops a first request, lingers
+ *   up to maxDelayUs for up to maxBatch-1 more, concatenates them
+ *   into one [k, C, H, W] forward, then fulfils each request's future
+ *   with its output row.
+ *
+ * Contracts the tests pin down:
+ *  - batching is semantically invisible: each future's value is
+ *    bit-identical to a batch-1 forward of the same input
+ *    (tests/test_batch_semantics.cpp proves the per-image
+ *    independence of every kernel this engine batches over);
+ *  - backpressure is an error, not a hang: a full queue fails the
+ *    future immediately with RejectedError;
+ *  - shutdown() drains: every admitted request is still executed, and
+ *    submissions after shutdown are rejected.
+ *
+ * Inference-mode forwards mutate no layer state, so one model
+ * instance is shared by all workers; each worker owns its ExecContext
+ * (hence its scratch tensors) while counters/tracer/latency sinks are
+ * the thread-safe obs types.
+ */
+
+#ifndef DLIS_SERVE_ENGINE_HPP
+#define DLIS_SERVE_ENGINE_HPP
+
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/tensor.hpp"
+#include "nn/exec_context.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dlis {
+
+class InferenceStack;
+
+namespace serve {
+
+/** Why a request was refused admission. */
+enum class RejectReason
+{
+    QueueFull, //!< backpressure: the bounded queue is at capacity
+    ShutDown,  //!< the engine no longer accepts work
+    BadShape,  //!< input is not a [1, C, H, W] the stack accepts
+};
+
+/** Human-readable reject reason. */
+const char *rejectReasonName(RejectReason reason);
+
+/** Failure delivered through a rejected request's future. */
+class RejectedError : public std::runtime_error
+{
+  public:
+    explicit RejectedError(RejectReason reason);
+
+    RejectReason reason() const { return reason_; }
+
+  private:
+    RejectReason reason_;
+};
+
+/** Engine shape: pool size, batching window, queue bound, backend. */
+struct ServeConfig
+{
+    size_t workers = 2;        //!< worker (batcher) threads
+    size_t maxBatch = 8;       //!< largest coalesced batch
+    uint64_t maxDelayUs = 2000; //!< batching linger after 1st request
+    size_t queueCapacity = 64; //!< admission bound (backpressure)
+
+    Backend backend = Backend::Serial; //!< per-worker compute backend
+    int threads = 1;                   //!< OpenMP threads per worker
+    ConvAlgo convAlgo = ConvAlgo::Direct;
+
+    /**
+     * Start with the worker pool idle; requests queue (and overflow
+     * rejects) until resume(). Used by tests to force deterministic
+     * backpressure and shutdown-with-queued-work scenarios.
+     */
+    bool startPaused = false;
+};
+
+/** Point-in-time engine statistics. */
+struct EngineStats
+{
+    uint64_t submitted = 0; //!< admitted requests
+    uint64_t completed = 0; //!< futures fulfilled with a result
+    uint64_t rejected = 0;  //!< refused at admission
+    uint64_t batches = 0;   //!< forwards executed
+    size_t queuePeak = 0;   //!< high-water queue depth
+    /** Realised batch sizes, index = size (0 unused). */
+    std::vector<uint64_t> batchHistogram;
+    /** Enqueue-to-reply latency over completed requests (seconds). */
+    obs::LatencyStats latency;
+};
+
+/**
+ * Thread-pool inference engine over one InferenceStack.
+ *
+ * The stack must outlive the engine. All public methods are
+ * thread-safe; submit() may be called from any number of client
+ * threads.
+ */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param stack   built stack whose model serves the requests
+     * @param config  pool/batching/backpressure parameters
+     * @param metrics optional registry receiving "serve.*" counters
+     *                (not owned; must be thread-safe for the pool)
+     * @param tracer  optional span tracer observing worker forwards
+     */
+    InferenceEngine(InferenceStack &stack, ServeConfig config,
+                    obs::Metrics *metrics = nullptr,
+                    obs::Tracer *tracer = nullptr);
+
+    /** Graceful shutdown (drains admitted work). */
+    ~InferenceEngine();
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /**
+     * Submit one [1, C, H, W] request. The returned future yields the
+     * [1, classes] output row, or throws RejectedError if the request
+     * was refused (full queue, shutdown, wrong shape). Never blocks
+     * beyond the queue mutex.
+     */
+    std::future<Tensor> submit(Tensor input);
+
+    /** Start the worker pool (no-op unless startPaused). */
+    void resume();
+
+    /**
+     * Stop accepting work, execute everything already admitted, join
+     * the pool. Idempotent; called by the destructor. A paused engine
+     * is resumed first so queued work still drains.
+     */
+    void shutdown();
+
+    /** Statistics snapshot (callable at any time, any thread). */
+    EngineStats stats() const;
+
+    /** The engine's configuration. */
+    const ServeConfig &config() const { return config_; }
+
+    /** The [1, C, H, W] shape every request must have. */
+    const Shape &requestShape() const { return requestShape_; }
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<Tensor> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void workerLoop(size_t workerId);
+    void runBatch(std::vector<Request> &batch, ExecContext &ctx,
+                  size_t workerId);
+    void bumpCounter(const char *leaf, uint64_t n = 1);
+
+    InferenceStack &stack_;
+    const ServeConfig config_;
+    obs::Metrics *metrics_;
+    obs::Tracer *tracer_;
+
+    Shape requestShape_; //!< required [1, C, H, W] input shape
+
+    BoundedQueue<Request> queue_;
+    std::vector<std::thread> pool_;
+    std::mutex lifecycleMutex_; //!< guards pool_ start/join
+    bool started_ = false;
+    bool shutdown_ = false;
+    std::atomic<bool> accepting_{true};
+
+    // Engine-local stats (metrics_ mirrors the monotonic ones).
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> batches_{0};
+    std::atomic<size_t> queuePeak_{0};
+    obs::BucketHistogram batchHist_;
+    mutable std::mutex latencyMutex_;
+    std::vector<double> latencySeconds_;
+};
+
+} // namespace serve
+} // namespace dlis
+
+#endif // DLIS_SERVE_ENGINE_HPP

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Bounded multi-producer multi-consumer queue for the serving engine.
+ *
+ * The queue is the engine's admission-control point: tryPush fails
+ * immediately when the queue is at capacity (backpressure — the caller
+ * turns that into a rejected request, never a blocked client), and
+ * close() wakes every waiting consumer while letting them drain the
+ * items already admitted, which is what gives the engine its
+ * "graceful shutdown drains in-flight work" semantics.
+ *
+ * Implementation is a mutex + two condition variables around a deque.
+ * At serving batch sizes the queue holds tens of items and every pop
+ * is followed by a full model forward, so lock-free cleverness would
+ * be noise; correctness under TSan is the design goal.
+ */
+
+#ifndef DLIS_SERVE_REQUEST_QUEUE_HPP
+#define DLIS_SERVE_REQUEST_QUEUE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace dlis::serve {
+
+/** Bounded MPMC queue; see file comment for the contract. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit @p item if there is room and the queue is open.
+     * Never blocks: a full (or closed) queue returns false and the
+     * item is left untouched in the caller's hands.
+     */
+    bool
+    tryPush(T &&item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_ || items_.size() >= capacity_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        notEmpty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available or the queue is closed *and*
+     * drained; nullopt means "no more work, ever" (the consumer's
+     * exit signal).
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait(lock,
+                       [this] { return !items_.empty() || closed_; });
+        return takeLocked();
+    }
+
+    /**
+     * Like pop() but gives up at @p deadline: nullopt then means
+     * either "drained and closed" or "deadline passed with the queue
+     * still empty" (the batcher's linger timeout — it stops waiting
+     * for more requests and ships the batch it has).
+     */
+    std::optional<T>
+    popUntil(std::chrono::steady_clock::time_point deadline)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        notEmpty_.wait_until(lock, deadline, [this] {
+            return !items_.empty() || closed_;
+        });
+        return takeLocked();
+    }
+
+    /**
+     * Take an item only if one is already queued (the batcher's
+     * zero-wait fill path once the linger deadline has passed).
+     */
+    std::optional<T>
+    tryPop()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return takeLocked();
+    }
+
+    /**
+     * Stop admitting new items and wake all waiting consumers.
+     * Already-queued items remain poppable so consumers drain them.
+     */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            closed_ = true;
+        }
+        notEmpty_.notify_all();
+    }
+
+    /** Current number of queued items. */
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return items_.size();
+    }
+
+    /** True once close() has been called. */
+    bool
+    closed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return closed_;
+    }
+
+  private:
+    /** Pop the front item if any; caller holds the mutex. */
+    std::optional<T>
+    takeLocked()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> item(std::move(items_.front()));
+        items_.pop_front();
+        return item;
+    }
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable notEmpty_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace dlis::serve
+
+#endif // DLIS_SERVE_REQUEST_QUEUE_HPP

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Cross-backend differential tests: the four Conv2D execution paths
+ * (direct dense, direct CSR, im2col+GEMM, Winograd) must agree
+ * numerically on randomized geometries, or the serving engine's
+ * freedom to pick any backend per worker silently changes answers.
+ *
+ * Shapes, strides and padding are drawn from a seeded Rng; every
+ * assertion carries the offending geometry so a failure reproduces
+ * with one SCOPED_TRACE line.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/winograd.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+/** |a-b| <= tol * max(1, |a|, |b|), elementwise, with shape check. */
+void
+expectRelClose(const Tensor &ref, const Tensor &got, float tol,
+               const std::string &what)
+{
+    ASSERT_EQ(ref.shape().dims(), got.shape().dims()) << what;
+    for (size_t i = 0; i < ref.numel(); ++i) {
+        const float a = ref[i], b = got[i];
+        const float scale =
+            std::max({1.0f, std::abs(a), std::abs(b)});
+        ASSERT_LE(std::abs(a - b), tol * scale)
+            << what << " diverges at flat index " << i << ": " << a
+            << " vs " << b;
+    }
+}
+
+/** One randomized conv geometry. */
+struct Geometry
+{
+    size_t cin, cout, kernel, stride, pad, h, w, batch;
+
+    std::string
+    str() const
+    {
+        return "cin=" + std::to_string(cin) +
+               " cout=" + std::to_string(cout) +
+               " k=" + std::to_string(kernel) +
+               " stride=" + std::to_string(stride) +
+               " pad=" + std::to_string(pad) + " in=[" +
+               std::to_string(batch) + ", " + std::to_string(cin) +
+               ", " + std::to_string(h) + ", " + std::to_string(w) +
+               "]";
+    }
+};
+
+Geometry
+randomGeometry(Rng &rng)
+{
+    Geometry g;
+    g.cin = 1 + rng.uniformInt(8);
+    g.cout = 1 + rng.uniformInt(8);
+    g.kernel = std::vector<size_t>{1, 3, 3, 5}[rng.uniformInt(4)];
+    g.stride = 1 + rng.uniformInt(2);
+    g.pad = rng.uniformInt(g.kernel / 2 + 1);
+    // Input at least as big as the unpadded kernel.
+    g.h = g.kernel + rng.uniformInt(12);
+    g.w = g.kernel + rng.uniformInt(12);
+    g.batch = 1 + rng.uniformInt(2);
+    return g;
+}
+
+constexpr float kTol = 1e-4f;
+constexpr uint64_t kSeed = 20180923; // print on failure via trace
+
+TEST(BackendParity, RandomizedConvGeometries)
+{
+    Rng rng(kSeed);
+    for (int trial = 0; trial < 24; ++trial) {
+        const Geometry g = randomGeometry(rng);
+        SCOPED_TRACE("seed=" + std::to_string(kSeed) + " trial=" +
+                     std::to_string(trial) + " " + g.str());
+
+        Conv2d conv("conv", g.cin, g.cout, g.kernel, g.stride, g.pad);
+        Rng winit = rng.split();
+        conv.initKaiming(winit);
+        // Zero some weights so the CSR path has real sparsity to walk.
+        Rng mask = rng.split();
+        Tensor &w = conv.weight();
+        for (size_t i = 0; i < w.numel(); ++i)
+            if (mask.bernoulli(0.4))
+                w[i] = 0.0f;
+
+        const Tensor input = test::randomTensor(
+            Shape{g.batch, g.cin, g.h, g.w}, rng.nextU64());
+
+        ExecContext ctx;
+        const Tensor ref = conv.forward(input, ctx); // direct dense
+
+        ctx.convAlgo = ConvAlgo::Im2colGemm;
+        expectRelClose(ref, conv.forward(input, ctx), kTol,
+                       "im2col+GEMM");
+
+        ctx.convAlgo = ConvAlgo::Winograd;
+        const ConvParams p{g.batch, g.cin, g.h,      g.w, g.cout,
+                           g.kernel, g.kernel, g.stride, g.pad};
+        const bool wino = kernels::winogradApplicable(p);
+        expectRelClose(ref, conv.forward(input, ctx), kTol,
+                       wino ? "Winograd" : "Winograd-fallback");
+        ctx.convAlgo = ConvAlgo::Direct;
+
+        // OpenMP direct (degrades to the serial loop without OpenMP).
+        ctx.backend = Backend::OpenMP;
+        ctx.threads = 4;
+        expectRelClose(ref, conv.forward(input, ctx), kTol,
+                       "OpenMP direct");
+        ctx.backend = Backend::Serial;
+        ctx.threads = 1;
+
+        // Direct CSR, then back to dense (round-trip must be exact).
+        conv.setFormat(WeightFormat::Csr);
+        expectRelClose(ref, conv.forward(input, ctx), kTol,
+                       "direct CSR");
+        conv.setFormat(WeightFormat::Dense);
+        expectRelClose(ref, conv.forward(input, ctx), 0.0f,
+                       "dense after CSR round-trip");
+    }
+}
+
+TEST(BackendParity, WinogradEligibleLayersAgree)
+{
+    // Force the geometry Winograd actually accelerates (3x3 stride 1)
+    // so the transform path itself is exercised, not the fallback.
+    Rng rng(kSeed + 1);
+    for (int trial = 0; trial < 8; ++trial) {
+        const size_t cin = 1 + rng.uniformInt(6);
+        const size_t cout = 1 + rng.uniformInt(6);
+        const size_t h = 4 + rng.uniformInt(12);
+        const size_t w = 4 + rng.uniformInt(12);
+        SCOPED_TRACE("trial=" + std::to_string(trial) + " cin=" +
+                     std::to_string(cin) + " cout=" +
+                     std::to_string(cout) + " in=" +
+                     std::to_string(h) + "x" + std::to_string(w));
+
+        Conv2d conv("wino", cin, cout, 3, 1, 1);
+        Rng winit = rng.split();
+        conv.initKaiming(winit);
+        const Tensor input =
+            test::randomTensor(Shape{1, cin, h, w}, rng.nextU64());
+
+        const ConvParams p{1, cin, h, w, cout, 3, 3, 1, 1};
+        ASSERT_TRUE(kernels::winogradApplicable(p));
+
+        ExecContext ctx;
+        const Tensor ref = conv.forward(input, ctx);
+        ctx.convAlgo = ConvAlgo::Winograd;
+        expectRelClose(ref, conv.forward(input, ctx), kTol,
+                       "Winograd");
+    }
+}
+
+TEST(BackendParity, MobileNetDepthwisePointwisePair)
+{
+    // The MobileNet building block: depthwise 3x3 feeding a pointwise
+    // 1x1. Depthwise has one (direct) algorithm, so its parity axis is
+    // serial vs OpenMP; the pointwise 1x1 runs all four conv paths
+    // (Winograd falls back to direct for 1x1 — asserted identical).
+    Rng rng(kSeed + 2);
+    for (const size_t channels : {3u, 8u, 16u}) {
+        for (const size_t stride : {1u, 2u}) {
+            SCOPED_TRACE("channels=" + std::to_string(channels) +
+                         " stride=" + std::to_string(stride));
+            DepthwiseConv2d dw("dw", channels, 3, stride, 1);
+            Conv2d pw("pw", channels, channels * 2, 1, 1, 0);
+            Rng winit = rng.split();
+            dw.initKaiming(winit);
+            pw.initKaiming(winit);
+
+            const Tensor input = test::randomTensor(
+                Shape{2, channels, 14, 14}, rng.nextU64());
+
+            ExecContext ctx;
+            const Tensor dwRef = dw.forward(input, ctx);
+            const Tensor pwRef = pw.forward(dwRef, ctx);
+
+            ctx.backend = Backend::OpenMP;
+            ctx.threads = 4;
+            expectRelClose(dwRef, dw.forward(input, ctx), kTol,
+                           "depthwise OpenMP");
+            ctx.backend = Backend::Serial;
+            ctx.threads = 1;
+
+            ctx.convAlgo = ConvAlgo::Im2colGemm;
+            expectRelClose(pwRef, pw.forward(dwRef, ctx), kTol,
+                           "pointwise im2col+GEMM");
+            ctx.convAlgo = ConvAlgo::Winograd; // 1x1: direct fallback
+            expectRelClose(pwRef, pw.forward(dwRef, ctx), 0.0f,
+                           "pointwise Winograd fallback");
+            ctx.convAlgo = ConvAlgo::Direct;
+
+            pw.setFormat(WeightFormat::Csr);
+            expectRelClose(pwRef, pw.forward(dwRef, ctx), kTol,
+                           "pointwise direct CSR");
+            pw.setFormat(WeightFormat::Dense);
+        }
+    }
+}
+
+} // namespace
+} // namespace dlis

@@ -89,6 +89,55 @@ TEST(Rng, SplitProducesIndependentStream)
     EXPECT_NE(a.nextU64(), child.nextU64());
 }
 
+TEST(Rng, StreamZeroMatchesPlainSeed)
+{
+    // Stream derivation is backward compatible: stream 0 is
+    // bit-identical to the one-argument constructor, so every seeded
+    // experiment recorded before streams existed still reproduces.
+    Rng plain(42), stream0(42, 0);
+    for (int i = 0; i < 256; ++i)
+        ASSERT_EQ(plain.nextU64(), stream0.nextU64()) << "draw " << i;
+}
+
+TEST(Rng, DistinctStreamsDiverge)
+{
+    // Adjacent stream ids (the per-worker pattern) must decorrelate
+    // immediately, not after a warm-up.
+    Rng s1(42, 1), s2(42, 2), s3(42, 3);
+    EXPECT_NE(s1.nextU64(), s2.nextU64());
+    EXPECT_NE(s2.nextU64(), s3.nextU64());
+    // And a stream is a pure function of (seed, id).
+    Rng again(42, 1);
+    Rng first(42, 1);
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(first.nextU64(), again.nextU64());
+}
+
+TEST(Rng, SplitDoesNotPerturbParent)
+{
+    // split() derives children from a stream counter, not from parent
+    // draws: splitting must leave the parent's sequence untouched.
+    Rng withSplit(9), without(9);
+    (void)withSplit.split();
+    (void)withSplit.split();
+    for (int i = 0; i < 64; ++i)
+        ASSERT_EQ(withSplit.nextU64(), without.nextU64()) << "draw " << i;
+}
+
+TEST(Rng, SplitChildrenAreDeterministic)
+{
+    // The k-th child of Rng(seed) equals the k-th child of any other
+    // Rng(seed), independent of how much either parent has drawn.
+    Rng a(17), b(17);
+    (void)b.nextU64(); // draws must not affect child identity
+    Rng a1 = a.split(), b1 = b.split();
+    Rng a2 = a.split(), b2 = b.split();
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_EQ(a1.nextU64(), b1.nextU64());
+        ASSERT_EQ(a2.nextU64(), b2.nextU64());
+    }
+}
+
 TEST(Tensor, FillAndStats)
 {
     Tensor t(Shape{2, 8});

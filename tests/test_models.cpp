@@ -176,6 +176,29 @@ TEST(Models, SetFormatRoundTripPreservesOutput)
     EXPECT_LE(back_out.maxAbsDiff(dense_out), 1e-6f);
 }
 
+TEST(Models, SeededBuildIsBitIdentical)
+{
+    // Two builds from the same seed must produce bit-identical
+    // weights — the reproducibility contract every recorded
+    // experiment (and the serving bench) depends on. This holds
+    // because Rng stream derivation is a pure function of
+    // (seed, stream id) and initialisation draws in a fixed order.
+    for (const char *name : {"mobilenet", "resnet18", "vgg16"}) {
+        SCOPED_TRACE(name);
+        Rng rngA(31), rngB(31);
+        Model a = makeModel(name, 10, 0.25, rngA);
+        Model b = makeModel(name, 10, 0.25, rngB);
+
+        std::vector<Tensor *> pa = a.net.parameters();
+        std::vector<Tensor *> pb = b.net.parameters();
+        ASSERT_EQ(pa.size(), pb.size());
+        for (size_t i = 0; i < pa.size(); ++i)
+            ASSERT_EQ(pa[i]->maxAbsDiff(*pb[i]), 0.0f)
+                << "parameter tensor " << i << " differs between two "
+                << "same-seed builds";
+    }
+}
+
 TEST(Models, CostsCoverAllMacs)
 {
     Rng rng(15);

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Concurrency tests for the serving engine (src/serve). The three
+ * hazards a thread-pool batcher can hide: wrong answers under
+ * concurrent submission, backpressure that blocks instead of failing,
+ * and shutdown deadlocks. Each gets a test; the binary runs under a
+ * ctest TIMEOUT so a deadlock is a failure, not a hung CI job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "stack/inference_stack.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+InferenceStack
+makeStack()
+{
+    StackConfig config;
+    config.modelName = "mobilenet";
+    config.widthMult = 0.25;
+    return InferenceStack(config);
+}
+
+/** Deterministic per-request payload. */
+Tensor
+payload(const Shape &shape, uint64_t id)
+{
+    Rng rng(997, id);
+    Tensor t{shape};
+    t.fillNormal(rng, 0.0f, 1.0f);
+    return t;
+}
+
+TEST(Serve, ConcurrentClientsMatchSerialForward)
+{
+    InferenceStack stack = makeStack();
+
+    constexpr size_t kClients = 8;
+    constexpr size_t kPerClient = 6;
+    constexpr size_t kTotal = kClients * kPerClient;
+
+    // Serial references, computed before the pool exists. The engine
+    // runs the same serial/direct configuration, and batching is
+    // bit-invisible (test_batch_semantics), so futures must match
+    // exactly.
+    ExecContext ref;
+    std::vector<Tensor> expected;
+    expected.reserve(kTotal);
+    for (size_t id = 0; id < kTotal; ++id)
+        expected.push_back(stack.model().net.forward(
+            payload(stack.inputShape(1), id), ref));
+
+    serve::ServeConfig config;
+    config.workers = 2;
+    config.maxBatch = 8;
+    config.maxDelayUs = 500;
+    config.queueCapacity = kTotal; // no rejects in this test
+    serve::InferenceEngine engine(stack, config);
+
+    std::atomic<size_t> mismatches{0};
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (size_t i = 0; i < kPerClient; ++i) {
+                const size_t id = c * kPerClient + i;
+                std::future<Tensor> f =
+                    engine.submit(payload(stack.inputShape(1), id));
+                const Tensor got = f.get(); // throws on reject
+                if (got.maxAbsDiff(expected[id]) != 0.0f)
+                    ++mismatches;
+            }
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    engine.shutdown();
+
+    EXPECT_EQ(mismatches.load(), 0u)
+        << "a batched result differed from its serial forward";
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.submitted, kTotal);
+    EXPECT_EQ(stats.completed, kTotal);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_LE(stats.batches, kTotal);
+}
+
+TEST(Serve, BackpressureRejectsNotHangs)
+{
+    InferenceStack stack = makeStack();
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.queueCapacity = 2;
+    config.startPaused = true; // nothing drains until resume()
+    serve::InferenceEngine engine(stack, config);
+
+    std::future<Tensor> a =
+        engine.submit(payload(stack.inputShape(1), 0));
+    std::future<Tensor> b =
+        engine.submit(payload(stack.inputShape(1), 1));
+
+    // Queue is full; this submit must fail the future immediately —
+    // not block the caller, not wait for capacity.
+    std::future<Tensor> c =
+        engine.submit(payload(stack.inputShape(1), 2));
+    ASSERT_EQ(c.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "rejected future was not failed at submit time";
+    try {
+        (void)c.get();
+        FAIL() << "full-queue submit did not throw";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(e.reason(), serve::RejectReason::QueueFull);
+    }
+
+    // The admitted requests still complete once the pool runs.
+    engine.resume();
+    EXPECT_NO_THROW((void)a.get());
+    EXPECT_NO_THROW((void)b.get());
+    engine.shutdown();
+
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(Serve, BadShapeRejected)
+{
+    InferenceStack stack = makeStack();
+    serve::InferenceEngine engine(stack, serve::ServeConfig{});
+
+    std::future<Tensor> f =
+        engine.submit(test::randomTensor(Shape{1, 3, 7, 7}, 5));
+    try {
+        (void)f.get();
+        FAIL() << "wrong-shape submit did not throw";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(e.reason(), serve::RejectReason::BadShape);
+    }
+    engine.shutdown();
+}
+
+TEST(Serve, ShutdownWithQueuedWorkDrains)
+{
+    InferenceStack stack = makeStack();
+
+    serve::ServeConfig config;
+    config.workers = 2;
+    config.queueCapacity = 16;
+    config.startPaused = true;
+    serve::InferenceEngine engine(stack, config);
+
+    constexpr size_t kQueued = 10;
+    std::vector<std::future<Tensor>> futures;
+    for (size_t id = 0; id < kQueued; ++id)
+        futures.push_back(
+            engine.submit(payload(stack.inputShape(1), id)));
+
+    // Shutdown with a queue full of never-started work: must execute
+    // all of it (not abandon the promises) and must not deadlock —
+    // the ctest TIMEOUT turns a hang here into a failure.
+    engine.shutdown();
+
+    for (std::future<Tensor> &f : futures) {
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+        EXPECT_NO_THROW((void)f.get());
+    }
+    EXPECT_EQ(engine.stats().completed, kQueued);
+
+    // After shutdown, submission is a clean reject.
+    std::future<Tensor> late =
+        engine.submit(payload(stack.inputShape(1), 99));
+    try {
+        (void)late.get();
+        FAIL() << "post-shutdown submit did not throw";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(e.reason(), serve::RejectReason::ShutDown);
+    }
+
+    // Idempotent: a second shutdown (and the destructor's) is a no-op.
+    engine.shutdown();
+}
+
+TEST(Serve, RepeatedStartupShutdownCycles)
+{
+    // Exercise pool construction/teardown repeatedly — the classic
+    // place for join/close races to hide.
+    InferenceStack stack = makeStack();
+    for (int cycle = 0; cycle < 4; ++cycle) {
+        serve::ServeConfig config;
+        config.workers = 2;
+        config.maxDelayUs = 100;
+        serve::InferenceEngine engine(stack, config);
+        std::vector<std::future<Tensor>> futures;
+        for (size_t id = 0; id < 4; ++id)
+            futures.push_back(
+                engine.submit(payload(stack.inputShape(1), id)));
+        for (std::future<Tensor> &f : futures)
+            EXPECT_NO_THROW((void)f.get());
+        // Destructor performs the shutdown.
+    }
+}
+
+} // namespace
+} // namespace dlis
