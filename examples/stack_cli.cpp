@@ -11,8 +11,14 @@
  *             [--width <mult>]           width multiplier (default 0.5)
  *             [--threads <n>]            simulated OpenMP threads
  *             [--platform odroid|i7]
- *             [--backend openmp|opencl|clblast]
+ *             [--backend serial|openmp|opencl|clblast]
+ *             [--algo direct|im2col|winograd]
  *             [--repeat <n>]             host-timing repeats (default 1)
+ *             [--verify]                 statically verify the stack
+ *                                        configuration (shapes, backend
+ *                                        capabilities, sparse formats,
+ *                                        memory estimate) and exit;
+ *                                        nonzero exit on any error
  *             [--trace <out.json>]       Chrome/Perfetto span trace
  *             [--metrics <out.json>]     expected-vs-actual report JSON
  *             [--serve-sim]              replay an open-loop arrival
@@ -36,6 +42,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/verifier.hpp"
 #include "core/logging.hpp"
 #include "hw/cost_model.hpp"
 #include "obs/metrics.hpp"
@@ -65,6 +72,63 @@ hasFlag(int argc, char **argv, const char *flag)
         if (std::strcmp(argv[i], flag) == 0)
             return true;
     return false;
+}
+
+Backend
+parseBackend(const std::string &name)
+{
+    if (name == "serial")
+        return Backend::Serial;
+    if (name == "openmp")
+        return Backend::OpenMP;
+    if (name == "opencl")
+        return Backend::OclHandTuned;
+    if (name == "clblast")
+        return Backend::OclGemmLib;
+    fatal("unknown backend '", name, "'");
+    return Backend::Serial; // unreachable
+}
+
+ConvAlgo
+parseConvAlgo(const std::string &name)
+{
+    if (name == "direct")
+        return ConvAlgo::Direct;
+    if (name == "im2col")
+        return ConvAlgo::Im2colGemm;
+    if (name == "winograd")
+        return ConvAlgo::Winograd;
+    fatal("unknown algorithm '", name, "'");
+    return ConvAlgo::Direct; // unreachable
+}
+
+/** --verify mode: static analysis of the configured stack, no run. */
+int
+runVerify(InferenceStack &stack, const std::string &backend,
+          const std::string &algo, int threads)
+{
+    analysis::VerifyOptions opts;
+    opts.input = stack.inputShape(1);
+    opts.backend = parseBackend(backend);
+    opts.convAlgo = parseConvAlgo(algo);
+    opts.threads = threads;
+
+    const analysis::VerifyReport report =
+        analysis::verifyNetwork(stack.model().net, opts);
+    std::printf("verify: %s | %s | %s | input %s\n",
+                stack.config().modelName.c_str(), backend.c_str(),
+                algo.c_str(), opts.input.str().c_str());
+    std::printf("%s\n", report.str().c_str());
+    if (report.memoryEstimated) {
+        const analysis::MemoryEstimate &m = report.memory;
+        std::printf("static memory estimate: total %s MB (weights %s, "
+                    "csr-meta %s, activations %s, scratch %s)\n",
+                    fmtMb(m.total()).c_str(), fmtMb(m.weights).c_str(),
+                    fmtMb(m.sparseMeta).c_str(),
+                    fmtMb(m.activationsPeak).c_str(),
+                    fmtMb(m.scratchPeak).c_str());
+    }
+    return report.ok() ? 0 : 1;
 }
 
 /** --serve-sim mode: open-loop replay through the serving engine. */
@@ -152,6 +216,11 @@ main(int argc, char **argv)
         fatal("unknown format '", format, "'");
 
     InferenceStack stack(config);
+
+    if (hasFlag(argc, argv, "--verify"))
+        return runVerify(stack, backend,
+                         argValue(argc, argv, "--algo", "direct"),
+                         threads);
 
     if (hasFlag(argc, argv, "--serve-sim"))
         return runServeSim(argc, argv, stack, backend, threads);

@@ -1,0 +1,63 @@
+#include "analysis/diagnostic.hpp"
+
+#include <sstream>
+
+namespace dlis::analysis {
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:    return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error:   return "error";
+    }
+    return "?";
+}
+
+const char *
+checkName(Check c)
+{
+    switch (c) {
+      case Check::BadShape:             return "bad-shape";
+      case Check::ChannelMismatch:      return "channel-mismatch";
+      case Check::SpatialUnderflow:     return "spatial-underflow";
+      case Check::PoolTruncation:       return "pool-truncation";
+      case Check::UnsupportedFormat:    return "unsupported-format";
+      case Check::AlgoIgnored:          return "algo-ignored";
+      case Check::WinogradInapplicable: return "winograd-inapplicable";
+      case Check::BadRowPtr:            return "bad-row-ptr";
+      case Check::UnsortedColumns:      return "unsorted-columns";
+      case Check::ColumnOutOfRange:     return "column-out-of-range";
+      case Check::SizeMismatch:         return "size-mismatch";
+      case Check::ByteAccounting:       return "byte-accounting";
+      case Check::BadTernaryCode:       return "bad-ternary-code";
+      case Check::BadTernaryScale:      return "bad-ternary-scale";
+      case Check::ResidualAddMismatch:  return "residual-add-mismatch";
+      case Check::FoldBnHazard:         return "fold-bn-hazard";
+      case Check::EmptyNetwork:         return "empty-network";
+      case Check::BadConfig:            return "bad-config";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::ostringstream oss;
+    oss << severityName(severity) << " [" << checkName(check) << "]";
+    if (!layer.empty())
+        oss << " " << layer;
+    oss << ": " << message;
+    return oss.str();
+}
+
+void
+diag(std::vector<Diagnostic> &out, Severity severity, Check check,
+     std::string layer, std::string message)
+{
+    out.push_back(Diagnostic{severity, check, std::move(layer),
+                             std::move(message)});
+}
+
+} // namespace dlis::analysis

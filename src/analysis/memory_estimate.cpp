@@ -1,0 +1,170 @@
+#include "analysis/memory_estimate.hpp"
+
+#include <algorithm>
+
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual_block.hpp"
+
+namespace dlis::analysis {
+
+namespace {
+
+size_t
+bytesOf(const Shape &s)
+{
+    return s.numel() * sizeof(float);
+}
+
+/** Activation + scratch bytes a Conv2d::forward allocates beyond its
+ *  input. Mirrors the dispatch in Conv2d::forward: the output tensor
+ *  is always constructed up front, so the im2col and simulated-OpenCL
+ *  paths pay for it *plus* their own result tensor, and the im2col
+ *  column buffer is the only tracked scratch. */
+struct Transient
+{
+    size_t act = 0;
+    size_t scratch = 0;
+};
+
+Transient
+convTransient(const Conv2d &conv, const Shape &in, Backend backend,
+              ConvAlgo algo)
+{
+    const size_t out = bytesOf(conv.outputShape(in));
+    const size_t cols = conv.cin() * conv.kernel() * conv.kernel() *
+                        conv.outputShape(in).h() *
+                        conv.outputShape(in).w() * sizeof(float);
+
+    const bool ocl = backend == Backend::OclHandTuned ||
+                     backend == Backend::OclGemmLib;
+    if (ocl) {
+        // Outer result tensor plus the path's own result tensor; the
+        // GEMM-library path also stages an im2col column buffer.
+        return {2 * out,
+                backend == Backend::OclGemmLib ? cols : size_t{0}};
+    }
+    if (conv.format() != WeightFormat::Dense)
+        return {out, 0}; // sparse/packed kernels run direct, in place
+    if (algo == ConvAlgo::Im2colGemm)
+        return {2 * out, cols};
+    return {out, 0}; // direct or Winograd writes the outer tensor
+}
+
+/** Transients of a residual block's forward, relative to its input.
+ *  The block keeps its layer cursor, the skip tensor (a copy of the
+ *  input when there is no projection), and the stage output alive at
+ *  once — the in-place add is the high-water point. */
+Transient
+residualTransient(const ResidualBlock &block, const Shape &in,
+                  Backend backend, ConvAlgo algo)
+{
+    const Transient t1 = convTransient(block.conv1(), in, backend, algo);
+    const Shape s1 = block.conv1().outputShape(in);
+    const size_t b1 = bytesOf(s1);
+    const Transient t2 = convTransient(block.conv2(), s1, backend, algo);
+    const Shape s2 = block.conv2().outputShape(s1);
+    const size_t b2 = bytesOf(s2);
+
+    size_t act = std::max({t1.act, 2 * b1, b1 + t2.act, 2 * b2});
+    size_t scratch = std::max(t1.scratch, t2.scratch);
+    if (const Conv2d *proj = block.projection()) {
+        const Transient tp = convTransient(*proj, in, backend, algo);
+        const size_t bp = bytesOf(proj->outputShape(in));
+        act = std::max({act, b2 + tp.act, b2 + 2 * bp, 2 * b2 + bp});
+        scratch = std::max(scratch, tp.scratch);
+    } else {
+        // skip = input copy, then the relu2 copy of the summed main.
+        act = std::max({act, b2 + bytesOf(in), 2 * b2 + bytesOf(in)});
+    }
+    return {act, scratch};
+}
+
+/** Parameter bytes of one layer, split into Weights and SparseMeta
+ *  tracker classes exactly as the runtime registers them. */
+void
+accumulateParams(const Layer &layer, MemoryEstimate &est)
+{
+    if (const auto *conv = dynamic_cast<const Conv2d *>(&layer)) {
+        est.weights += conv->weight().bytes() + conv->bias().bytes();
+        if (conv->format() == WeightFormat::Csr) {
+            est.weights += conv->csrWeight().nnz() * sizeof(float);
+            est.sparseMeta += conv->csrWeight().metadataBytes();
+        } else if (conv->format() == WeightFormat::PackedTernary) {
+            est.weights += conv->packedWeight().storageBytes();
+        }
+    } else if (const auto *dw =
+                   dynamic_cast<const DepthwiseConv2d *>(&layer)) {
+        est.weights += dw->weight().bytes();
+        if (dw->hasBias())
+            est.weights += dw->channels() * sizeof(float);
+    } else if (const auto *bn =
+                   dynamic_cast<const BatchNorm2d *>(&layer)) {
+        // gamma, beta, runningMean, runningVar.
+        est.weights += 4 * bn->channels() * sizeof(float);
+    } else if (const auto *fc = dynamic_cast<const Linear *>(&layer)) {
+        est.weights +=
+            fc->weight().bytes() + fc->outFeatures() * sizeof(float);
+        if (fc->format() == WeightFormat::Csr) {
+            est.weights += fc->csrWeight().nnz() * sizeof(float);
+            est.sparseMeta += fc->csrWeight().metadataBytes();
+        }
+    } else if (const auto *block =
+                   dynamic_cast<const ResidualBlock *>(&layer)) {
+        accumulateParams(block->conv1(), est);
+        accumulateParams(block->bn1(), est);
+        accumulateParams(block->conv2(), est);
+        accumulateParams(block->bn2(), est);
+        if (block->projection()) {
+            accumulateParams(*block->projection(), est);
+            accumulateParams(*block->projectionBn(), est);
+        }
+    }
+}
+
+} // namespace
+
+MemoryEstimate
+estimateForwardMemory(const Network &net, const Shape &input,
+                      Backend backend, ConvAlgo algo)
+{
+    MemoryEstimate est;
+    const size_t inputBytes = bytesOf(input);
+
+    // The measurement harness holds the input tensor for the whole
+    // forward, and Network::forward's layer cursor starts as a copy of
+    // it — so before any layer runs, two copies are live.
+    size_t peakBeyondInput = inputBytes;
+
+    Shape cur = input;
+    for (const auto &layerPtr : net.layers()) {
+        const Layer &layer = *layerPtr;
+        accumulateParams(layer, est);
+
+        const Shape out = layer.outputShape(cur);
+        Transient t{bytesOf(out), 0};
+        if (const auto *conv = dynamic_cast<const Conv2d *>(&layer))
+            t = convTransient(*conv, cur, backend, algo);
+        else if (const auto *block =
+                     dynamic_cast<const ResidualBlock *>(&layer))
+            t = residualTransient(*block, cur, backend, algo);
+
+        LayerMemory lm;
+        lm.name = layer.name();
+        lm.inputBytes = bytesOf(cur);
+        lm.outputBytes = bytesOf(out);
+        lm.transientBytes = t.act;
+        lm.scratchBytes = t.scratch;
+        est.perLayer.push_back(lm);
+
+        peakBeyondInput =
+            std::max(peakBeyondInput, lm.inputBytes + t.act);
+        est.scratchPeak = std::max(est.scratchPeak, t.scratch);
+        cur = out;
+    }
+
+    est.activationsPeak = inputBytes + peakBeyondInput;
+    return est;
+}
+
+} // namespace dlis::analysis

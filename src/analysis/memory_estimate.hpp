@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static per-layer memory high-water estimate.
+ *
+ * Predicts, without allocating or executing, the peak bytes the
+ * MemoryTracker will observe for one inference: the paper's Tables IV
+ * and VI are made of exactly these numbers, and TASO-style deployment
+ * planning needs them *before* the first forward runs on a
+ * memory-constrained target.
+ *
+ * The model mirrors the runtime's allocation lifetimes precisely:
+ * the measurement harness holds the input tensor for the whole
+ * forward, Network::forward copies it into its layer cursor, and each
+ * layer's forward allocates its output (plus per-layer transients —
+ * the ReLU copy, the BatchNorm output, the im2col column buffer, the
+ * residual block's skip copy) while its input is still live. For the
+ * serial dense direct configuration the estimate matches the tracker's
+ * observed peak byte-for-byte (tests/test_analysis.cpp pins this on
+ * all three paper models).
+ */
+
+#ifndef DLIS_ANALYSIS_MEMORY_ESTIMATE_HPP
+#define DLIS_ANALYSIS_MEMORY_ESTIMATE_HPP
+
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dlis::analysis {
+
+/** One layer's contribution to the forward-pass high-water mark. */
+struct LayerMemory
+{
+    std::string name;
+    size_t inputBytes = 0;  //!< live activation input to the layer
+    size_t outputBytes = 0; //!< activation the layer hands onward
+    /**
+     * Peak activation bytes *allocated by this layer's forward* while
+     * its input is live (includes the output; excludes the input).
+     */
+    size_t transientBytes = 0;
+    size_t scratchBytes = 0; //!< im2col / workspace peak (Scratch)
+};
+
+/** Static memory high-water decomposition, in MemoryTracker classes. */
+struct MemoryEstimate
+{
+    size_t weights = 0;         //!< parameter payload (MemClass::Weights)
+    size_t sparseMeta = 0;      //!< CSR/ternary metadata (SparseMeta)
+    size_t activationsPeak = 0; //!< peak live activation bytes
+    size_t scratchPeak = 0;     //!< peak live scratch bytes
+    std::vector<LayerMemory> perLayer;
+
+    /** Peak total footprint (weights + meta + activations + scratch). */
+    size_t
+    total() const
+    {
+        return weights + sparseMeta + activationsPeak + scratchPeak;
+    }
+};
+
+/**
+ * Estimate the tracker-observed peak of one inference of @p net on
+ * @p input under the given backend and convolution algorithm.
+ * Inference mode only (training caches are not modelled). Shapes must
+ * be consistent — run the verifier first; this throws FatalError on a
+ * malformed network just like the runtime would.
+ */
+MemoryEstimate estimateForwardMemory(const Network &net,
+                                     const Shape &input,
+                                     Backend backend = Backend::Serial,
+                                     ConvAlgo algo = ConvAlgo::Direct);
+
+} // namespace dlis::analysis
+
+#endif // DLIS_ANALYSIS_MEMORY_ESTIMATE_HPP

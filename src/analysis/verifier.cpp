@@ -1,0 +1,435 @@
+#include "analysis/verifier.hpp"
+
+#include <sstream>
+
+#include "analysis/sparse_checks.hpp"
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual_block.hpp"
+
+namespace dlis::analysis {
+
+namespace {
+
+/** Walks a network symbolically, collecting diagnostics. */
+class NetworkVerifier
+{
+  public:
+    explicit NetworkVerifier(const VerifyOptions &opt) : opt_(opt) {}
+
+    std::vector<Diagnostic> diags;
+    bool shapesOk = true;
+
+    void
+    run(const Network &net)
+    {
+        if (opt_.threads < 1)
+            diag(diags, Severity::Error, Check::BadConfig, "",
+                 "thread count must be >= 1, got " +
+                     std::to_string(opt_.threads));
+        if (net.size() == 0)
+            diag(diags, Severity::Warning, Check::EmptyNetwork, "",
+                 "network has no layers");
+        if (opt_.input.rank() == 4 && opt_.input.n() == 0)
+            diag(diags, Severity::Error, Check::BadConfig, "",
+                 "batch dimension is 0 in " + opt_.input.str());
+
+        Shape cur = opt_.input;
+        for (const auto &layer : net.layers()) {
+            if (!visitLayer(*layer, cur)) {
+                shapesOk = false;
+                diag(diags, Severity::Info, Check::BadShape,
+                     layer->name(),
+                     "shape propagation stopped here; later layers "
+                     "not shape-checked");
+                break;
+            }
+        }
+
+        checkFoldBnPairs(net);
+
+        // A Winograd request that no layer can serve is a stack
+        // misconfiguration: every conv would silently fall back and
+        // the measured numbers would not be Winograd's.
+        if (opt_.convAlgo == ConvAlgo::Winograd && denseConvs_ > 0 &&
+            winogradEligible_ == 0)
+            diag(diags, Severity::Error, Check::WinogradInapplicable,
+                 "",
+                 "Winograd requested but no convolution is 3x3 "
+                 "stride-1 (every layer would fall back to direct)");
+    }
+
+  private:
+    const VerifyOptions &opt_;
+    size_t denseConvs_ = 0;       //!< dense-format standard convs seen
+    size_t winogradEligible_ = 0; //!< ...of which 3x3 stride-1
+
+    static std::string
+    shapeStr(const Shape &s)
+    {
+        return s.str();
+    }
+
+    /** Advance @p cur through @p layer; false stops the walk. */
+    bool
+    advance(const Layer &layer, Shape &cur)
+    {
+        try {
+            cur = layer.outputShape(cur);
+            return true;
+        } catch (const FatalError &e) {
+            diag(diags, Severity::Error, Check::BadShape, layer.name(),
+                 e.what());
+            return false;
+        }
+    }
+
+    bool
+    requireRank4(const Layer &layer, const Shape &s)
+    {
+        if (s.rank() == 4)
+            return true;
+        diag(diags, Severity::Error, Check::BadShape, layer.name(),
+             "expects an NCHW input, got " + shapeStr(s));
+        return false;
+    }
+
+    bool
+    checkConv(const Conv2d &conv, const Shape &s)
+    {
+        if (!requireRank4(conv, s))
+            return false;
+        bool ok = true;
+        if (s.c() != conv.cin()) {
+            diag(diags, Severity::Error, Check::ChannelMismatch,
+                 conv.name(),
+                 "expects " + std::to_string(conv.cin()) +
+                     " input channels, gets " + std::to_string(s.c()) +
+                     " from " + shapeStr(s));
+            ok = false;
+        }
+        if (s.h() + 2 * conv.pad() < conv.kernel() ||
+            s.w() + 2 * conv.pad() < conv.kernel()) {
+            diag(diags, Severity::Error, Check::SpatialUnderflow,
+                 conv.name(),
+                 std::to_string(conv.kernel()) + "x" +
+                     std::to_string(conv.kernel()) +
+                     " kernel larger than padded input " + shapeStr(s) +
+                     " (pad " + std::to_string(conv.pad()) + ")");
+            ok = false;
+        }
+
+        const WeightFormat fmt = conv.format();
+        const bool ocl = opt_.backend == Backend::OclHandTuned ||
+                         opt_.backend == Backend::OclGemmLib;
+        if (fmt == WeightFormat::Dense) {
+            ++denseConvs_;
+            const bool eligible =
+                conv.kernel() == 3 && conv.stride() == 1;
+            if (eligible)
+                ++winogradEligible_;
+            else if (opt_.convAlgo == ConvAlgo::Winograd)
+                diag(diags, Severity::Info,
+                     Check::WinogradInapplicable, conv.name(),
+                     "not 3x3 stride-1; falls back to direct");
+        } else {
+            if (ocl)
+                diag(diags, Severity::Error, Check::UnsupportedFormat,
+                     conv.name(),
+                     std::string(backendName(opt_.backend)) +
+                         " backend has no " + weightFormatName(fmt) +
+                         " kernel (runtime would panic mid-run)");
+            else if (opt_.convAlgo != ConvAlgo::Direct)
+                diag(diags, Severity::Warning, Check::AlgoIgnored,
+                     conv.name(),
+                     std::string(weightFormatName(fmt)) +
+                         " weights dispatch the direct sparse kernel; "
+                         "the requested algorithm is ignored");
+        }
+
+        if (fmt == WeightFormat::Csr) {
+            const CsrFilterBank &bank = conv.csrWeight();
+            if (bank.outChannels() != conv.cout() ||
+                bank.inChannels() != conv.cin() ||
+                bank.kernelH() != conv.kernel() ||
+                bank.kernelW() != conv.kernel()) {
+                std::ostringstream oss;
+                oss << "CSR bank geometry [" << bank.outChannels()
+                    << ", " << bank.inChannels() << ", "
+                    << bank.kernelH() << ", " << bank.kernelW()
+                    << "] does not match conv [" << conv.cout() << ", "
+                    << conv.cin() << ", " << conv.kernel() << ", "
+                    << conv.kernel() << "]";
+                diag(diags, Severity::Error, Check::SizeMismatch,
+                     conv.name(), oss.str());
+            } else {
+                verifyCsrFilterBank(bank, conv.name(), diags);
+            }
+        } else if (fmt == WeightFormat::PackedTernary) {
+            const PackedTernary &packed = conv.packedWeight();
+            const Shape expect{conv.cout(), conv.cin(), conv.kernel(),
+                               conv.kernel()};
+            if (!(packed.shape() == expect))
+                diag(diags, Severity::Error, Check::SizeMismatch,
+                     conv.name(),
+                     "packed shape " + packed.shape().str() +
+                         " does not match filter " + expect.str());
+            verifyPackedTernary(packed, conv.name(), diags);
+        }
+        return ok;
+    }
+
+    bool
+    checkDepthwise(const DepthwiseConv2d &dw, const Shape &s)
+    {
+        if (!requireRank4(dw, s))
+            return false;
+        bool ok = true;
+        if (s.c() != dw.channels()) {
+            diag(diags, Severity::Error, Check::ChannelMismatch,
+                 dw.name(),
+                 "expects " + std::to_string(dw.channels()) +
+                     " channels, gets " + std::to_string(s.c()));
+            ok = false;
+        }
+        if (s.h() + 2 * dw.pad() < dw.kernel() ||
+            s.w() + 2 * dw.pad() < dw.kernel()) {
+            diag(diags, Severity::Error, Check::SpatialUnderflow,
+                 dw.name(),
+                 "kernel larger than padded input " + shapeStr(s));
+            ok = false;
+        }
+        return ok;
+    }
+
+    bool
+    checkBatchNorm(const BatchNorm2d &bn, const Shape &s)
+    {
+        if (!requireRank4(bn, s))
+            return false;
+        if (s.c() != bn.channels()) {
+            diag(diags, Severity::Error, Check::ChannelMismatch,
+                 bn.name(),
+                 "normalises " + std::to_string(bn.channels()) +
+                     " channels, gets " + std::to_string(s.c()));
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    checkLinear(const Linear &fc, const Shape &s)
+    {
+        if (s.rank() < 2) {
+            diag(diags, Severity::Error, Check::BadShape, fc.name(),
+                 "expects a batched input, got " + shapeStr(s));
+            return false;
+        }
+        const size_t features = s.numel() / s[0];
+        if (features != fc.inFeatures()) {
+            diag(diags, Severity::Error, Check::ChannelMismatch,
+                 fc.name(),
+                 "expects " + std::to_string(fc.inFeatures()) +
+                     " features, gets " + std::to_string(features) +
+                     " from " + shapeStr(s));
+            return false;
+        }
+        if (fc.format() == WeightFormat::Csr) {
+            const CsrMatrix &m = fc.csrWeight();
+            if (m.rows() != fc.outFeatures() ||
+                m.cols() != fc.inFeatures())
+                diag(diags, Severity::Error, Check::SizeMismatch,
+                     fc.name(),
+                     "CSR matrix is " + std::to_string(m.rows()) +
+                         "x" + std::to_string(m.cols()) +
+                         ", expected " +
+                         std::to_string(fc.outFeatures()) + "x" +
+                         std::to_string(fc.inFeatures()));
+            else
+                verifyCsrMatrix(m, fc.name(), diags);
+        }
+        return true;
+    }
+
+    bool
+    checkMaxPool(const MaxPool2d &pool, const Shape &s)
+    {
+        if (!requireRank4(pool, s))
+            return false;
+        const size_t k = pool.kernel();
+        if (s.h() < k || s.w() < k) {
+            diag(diags, Severity::Error, Check::SpatialUnderflow,
+                 pool.name(),
+                 std::to_string(k) + "x" + std::to_string(k) +
+                     " window larger than input " + shapeStr(s));
+            return false;
+        }
+        if (s.h() % k != 0 || s.w() % k != 0) {
+            diag(diags, Severity::Error, Check::PoolTruncation,
+                 pool.name(),
+                 shapeStr(s) + " not divisible by " +
+                     std::to_string(k) +
+                     "; the runtime rejects this forward");
+            return false;
+        }
+        return true;
+    }
+
+    bool
+    checkResidual(const ResidualBlock &block, Shape &cur)
+    {
+        const Shape in = cur;
+        Shape main = in;
+        if (!checkConv(block.conv1(), main) ||
+            !advance(block.conv1(), main))
+            return false;
+        if (!checkBatchNorm(block.bn1(), main))
+            return false;
+        if (!checkConv(block.conv2(), main) ||
+            !advance(block.conv2(), main))
+            return false;
+        if (!checkBatchNorm(block.bn2(), main))
+            return false;
+
+        Shape skip = in;
+        if (const Conv2d *proj = block.projection()) {
+            if (!checkConv(*proj, skip) || !advance(*proj, skip))
+                return false;
+            if (!checkBatchNorm(*block.projectionBn(), skip))
+                return false;
+        }
+
+        // The elementwise skip-add mutates the main tensor in place;
+        // mismatched operands are the aliasing hazard a mid-run panic
+        // (or silent out-of-bounds read) would otherwise surface.
+        if (!(main == skip)) {
+            diag(diags, Severity::Error, Check::ResidualAddMismatch,
+                 block.name(),
+                 "in-place skip-add over mismatched shapes: main "
+                 "path yields " +
+                     shapeStr(main) + ", skip path yields " +
+                     shapeStr(skip));
+            return false;
+        }
+        cur = main;
+        return true;
+    }
+
+    /** Dispatch one layer; false stops shape propagation. */
+    bool
+    visitLayer(const Layer &layer, Shape &cur)
+    {
+        if (const auto *conv = dynamic_cast<const Conv2d *>(&layer))
+            return checkConv(*conv, cur) && advance(layer, cur);
+        if (const auto *dw =
+                dynamic_cast<const DepthwiseConv2d *>(&layer))
+            return checkDepthwise(*dw, cur) && advance(layer, cur);
+        if (const auto *bn = dynamic_cast<const BatchNorm2d *>(&layer))
+            return checkBatchNorm(*bn, cur) && advance(layer, cur);
+        if (const auto *fc = dynamic_cast<const Linear *>(&layer))
+            return checkLinear(*fc, cur) && advance(layer, cur);
+        if (const auto *pool = dynamic_cast<const MaxPool2d *>(&layer))
+            return checkMaxPool(*pool, cur) && advance(layer, cur);
+        if (const auto *block =
+                dynamic_cast<const ResidualBlock *>(&layer))
+            return checkResidual(*block, cur);
+        // ReLU, Flatten, GlobalAvgPool, custom layers: the layer's own
+        // outputShape carries the checks.
+        return advance(layer, cur);
+    }
+
+    /** Conv->BN pairs that foldBatchNorms would reject or corrupt. */
+    void
+    checkFoldBnPairs(const Network &net)
+    {
+        const auto &layers = net.layers();
+        for (size_t i = 0; i + 1 < layers.size(); ++i) {
+            const auto *bn =
+                dynamic_cast<const BatchNorm2d *>(layers[i + 1].get());
+            if (!bn)
+                continue;
+            const auto *conv =
+                dynamic_cast<const Conv2d *>(layers[i].get());
+            if (conv && conv->format() != WeightFormat::Dense)
+                diag(diags, Severity::Warning, Check::FoldBnHazard,
+                     conv->name(),
+                     "followed by a batch norm but weights are " +
+                         std::string(weightFormatName(conv->format())) +
+                         "; foldBatchNorms requires dense weights — "
+                         "fold before format conversion");
+        }
+    }
+};
+
+} // namespace
+
+bool
+VerifyReport::ok() const
+{
+    return count(Severity::Error) == 0;
+}
+
+size_t
+VerifyReport::count(Severity severity) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+bool
+VerifyReport::has(Check c) const
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.check == c)
+            return true;
+    return false;
+}
+
+std::string
+VerifyReport::firstError() const
+{
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == Severity::Error)
+            return d.str();
+    return "";
+}
+
+std::string
+VerifyReport::str() const
+{
+    std::ostringstream oss;
+    for (const Diagnostic &d : diagnostics)
+        oss << d.str() << "\n";
+    oss << (ok() ? "verification passed" : "verification FAILED")
+        << " (" << count(Severity::Error) << " errors, "
+        << count(Severity::Warning) << " warnings, "
+        << count(Severity::Info) << " notes)";
+    return oss.str();
+}
+
+VerifyReport
+verifyNetwork(const Network &net, const VerifyOptions &options)
+{
+    VerifyReport report;
+    NetworkVerifier verifier(options);
+    verifier.run(net);
+    report.diagnostics = std::move(verifier.diags);
+
+    if (options.estimateMemory && verifier.shapesOk) {
+        try {
+            report.memory = estimateForwardMemory(
+                net, options.input, options.backend, options.convAlgo);
+            report.memoryEstimated = true;
+        } catch (const FatalError &e) {
+            diag(report.diagnostics, Severity::Error, Check::BadShape,
+                 "", std::string("memory estimate failed: ") +
+                         e.what());
+        }
+    }
+    return report;
+}
+
+} // namespace dlis::analysis

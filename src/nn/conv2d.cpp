@@ -331,6 +331,24 @@ Conv2d::packedWeight() const
     return *packed_;
 }
 
+void
+Conv2d::setCsrWeight(CsrFilterBank bank)
+{
+    bank_ = std::move(bank);
+    packed_.reset();
+    weight_ = Tensor();
+    format_ = WeightFormat::Csr;
+}
+
+void
+Conv2d::setPackedWeight(PackedTernary packed)
+{
+    packed_ = std::move(packed);
+    bank_.reset();
+    weight_ = Tensor();
+    format_ = WeightFormat::PackedTernary;
+}
+
 namespace {
 
 /** Validate a keep-list against a channel count. */

@@ -90,6 +90,19 @@ class Conv2d : public Layer
      */
     const PackedTernary &packedWeight() const;
 
+    /**
+     * Install externally built CSR weights, as model deserialisation
+     * would. Drops the dense copy and switches format() to Csr. The
+     * image is trusted as-is; run the analysis verifier to validate it.
+     */
+    void setCsrWeight(CsrFilterBank bank);
+
+    /**
+     * Install externally built packed-ternary weights (see
+     * setCsrWeight; same trust model).
+     */
+    void setPackedWeight(PackedTernary packed);
+
     /** Keep only the listed output channels (sorted, unique). */
     void keepOutputChannels(const std::vector<size_t> &keep);
 

@@ -49,7 +49,9 @@ class DepthwiseConv2d : public Layer
     LayerCost cost(const Shape &input) const override;
 
     size_t channels() const { return channels_; }
+    size_t kernel() const { return kernel_; }
     size_t stride() const { return stride_; }
+    size_t pad() const { return pad_; }
 
     /** The C1HW weight tensor. */
     Tensor &weight() { return weight_; }

@@ -54,6 +54,9 @@ enum class ConvAlgo
                 //!< other geometries fall back to Direct)
 };
 
+/** Human-readable algorithm name. */
+const char *convAlgoName(ConvAlgo algo);
+
 /** Execution state threaded through every layer's forward/backward. */
 struct ExecContext
 {

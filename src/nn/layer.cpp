@@ -27,6 +27,17 @@ weightFormatName(WeightFormat f)
     return "?";
 }
 
+const char *
+convAlgoName(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::Direct:     return "direct";
+      case ConvAlgo::Im2colGemm: return "im2col-gemm";
+      case ConvAlgo::Winograd:   return "winograd";
+    }
+    return "?";
+}
+
 Tensor
 Layer::backward(const Tensor &gradOut, ExecContext &ctx)
 {

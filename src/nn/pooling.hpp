@@ -18,6 +18,9 @@ class MaxPool2d : public Layer
   public:
     MaxPool2d(std::string name, size_t kernel);
 
+    /** Window size (stride is the same). */
+    size_t kernel() const { return kernel_; }
+
     Shape outputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input, ExecContext &ctx) override;
     Tensor backward(const Tensor &gradOut, ExecContext &ctx) override;

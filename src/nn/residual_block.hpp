@@ -53,6 +53,14 @@ class ResidualBlock : public Layer
     BatchNorm2d &bn2() { return *bn2_; }
     ReLU &relu1() { return *relu1_; }
     Conv2d *projection() { return proj_.get(); }
+    BatchNorm2d *projectionBn() { return projBn_.get(); }
+
+    const Conv2d &conv1() const { return *conv1_; }
+    const Conv2d &conv2() const { return *conv2_; }
+    const BatchNorm2d &bn1() const { return *bn1_; }
+    const BatchNorm2d &bn2() const { return *bn2_; }
+    const Conv2d *projection() const { return proj_.get(); }
+    const BatchNorm2d *projectionBn() const { return projBn_.get(); }
     /** @} */
 
     /** Per-stage costs (the block has several sync points inside). */

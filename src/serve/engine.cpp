@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "analysis/verifier.hpp"
 #include "obs/trace.hpp"
 #include "stack/inference_stack.hpp"
 
@@ -15,13 +16,16 @@ rejectReasonName(RejectReason reason)
       case RejectReason::QueueFull: return "queue-full";
       case RejectReason::ShutDown:  return "shut-down";
       case RejectReason::BadShape:  return "bad-shape";
+      case RejectReason::BadConfig: return "bad-config";
     }
     return "?";
 }
 
-RejectedError::RejectedError(RejectReason reason)
+RejectedError::RejectedError(RejectReason reason,
+                             const std::string &detail)
     : std::runtime_error(std::string("request rejected: ") +
-                         rejectReasonName(reason)),
+                         rejectReasonName(reason) +
+                         (detail.empty() ? "" : " — " + detail)),
       reason_(reason)
 {
 }
@@ -39,6 +43,23 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
     DLIS_CHECK(config_.maxBatch > 0, "maxBatch must be positive");
     DLIS_CHECK(config_.queueCapacity > 0,
                "queueCapacity must be positive");
+
+    // Pre-flight: statically verify the model against this engine's
+    // backend/algorithm before any worker spawns. A bad deployment is
+    // rejected here, with a diagnostic, instead of panicking a worker
+    // thread mid-request.
+    analysis::VerifyOptions vopts;
+    vopts.input = stack.inputShape(1);
+    vopts.backend = config_.backend;
+    vopts.convAlgo = config_.convAlgo;
+    vopts.threads = config_.threads;
+    vopts.estimateMemory = false;
+    const analysis::VerifyReport preflight =
+        analysis::verifyNetwork(stack.model().net, vopts);
+    if (!preflight.ok())
+        throw RejectedError(RejectReason::BadConfig,
+                            preflight.firstError());
+
     if (!config_.startPaused)
         resume();
 }

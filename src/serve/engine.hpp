@@ -50,22 +50,25 @@ class InferenceStack;
 
 namespace serve {
 
-/** Why a request was refused admission. */
+/** Why a request (or a whole deployment) was refused admission. */
 enum class RejectReason
 {
     QueueFull, //!< backpressure: the bounded queue is at capacity
     ShutDown,  //!< the engine no longer accepts work
     BadShape,  //!< input is not a [1, C, H, W] the stack accepts
+    BadConfig, //!< pre-flight verification rejected the deployment
 };
 
 /** Human-readable reject reason. */
 const char *rejectReasonName(RejectReason reason);
 
-/** Failure delivered through a rejected request's future. */
+/** Failure delivered through a rejected request's future, or thrown
+ *  by the engine constructor when pre-flight verification fails. */
 class RejectedError : public std::runtime_error
 {
   public:
-    explicit RejectedError(RejectReason reason);
+    explicit RejectedError(RejectReason reason,
+                           const std::string &detail = "");
 
     RejectReason reason() const { return reason_; }
 
@@ -123,6 +126,14 @@ class InferenceEngine
      * @param metrics optional registry receiving "serve.*" counters
      *                (not owned; must be thread-safe for the pool)
      * @param tracer  optional span tracer observing worker forwards
+     *
+     * The constructor pre-flights the deployment: the model is run
+     * through the static verifier (analysis::verifyNetwork) against
+     * the configured backend/algorithm/threads, and a deployment that
+     * would fail mid-request — sparse weights on an OpenCL backend, a
+     * corrupt CSR image, a broken residual block — throws
+     * RejectedError(RejectReason::BadConfig) with the first diagnostic
+     * as detail, before any worker thread spawns.
      */
     InferenceEngine(InferenceStack &stack, ServeConfig config,
                     obs::Metrics *metrics = nullptr,

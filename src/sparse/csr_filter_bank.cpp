@@ -46,6 +46,25 @@ CsrFilterBank::fromFilter(const Tensor &oihw)
     return bank;
 }
 
+CsrFilterBank
+CsrFilterBank::fromRaw(size_t cout, size_t cin, size_t kh, size_t kw,
+                       std::vector<CsrSlice> slices)
+{
+    DLIS_CHECK(slices.size() == cout * cin, "expected ", cout * cin,
+               " slices, got ", slices.size());
+    CsrFilterBank bank;
+    bank.cout_ = cout;
+    bank.cin_ = cin;
+    bank.kh_ = kh;
+    bank.kw_ = kw;
+    bank.slices_ = std::move(slices);
+    bank.trackedValues_ =
+        TrackedBytes(MemClass::Weights, bank.nnz() * sizeof(float));
+    bank.trackedMeta_ =
+        TrackedBytes(MemClass::SparseMeta, bank.metadataBytes());
+    return bank;
+}
+
 Tensor
 CsrFilterBank::toDense() const
 {

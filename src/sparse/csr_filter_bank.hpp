@@ -48,6 +48,16 @@ class CsrFilterBank
     /** Build from a dense OIHW filter tensor, dropping exact zeros. */
     static CsrFilterBank fromFilter(const Tensor &oihw);
 
+    /**
+     * Assemble from raw slices, as a deserialiser would. @p slices is
+     * cout*cin entries in (oc, ci) row-major order. No validation is
+     * performed here — run analysis::verifyCsrFilterBank on the result
+     * before letting a kernel walk it.
+     */
+    static CsrFilterBank fromRaw(size_t cout, size_t cin, size_t kh,
+                                 size_t kw,
+                                 std::vector<CsrSlice> slices);
+
     /** Expand back to the dense OIHW tensor. */
     Tensor toDense() const;
 

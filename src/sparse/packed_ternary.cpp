@@ -43,6 +43,20 @@ PackedTernary::pack(const Tensor &dense)
     return p;
 }
 
+PackedTernary
+PackedTernary::fromRaw(Shape shape, std::vector<uint8_t> words,
+                       float wp, float wn)
+{
+    PackedTernary p;
+    p.count_ = shape.numel();
+    p.shape_ = std::move(shape);
+    p.words_ = std::move(words);
+    p.wp_ = wp;
+    p.wn_ = wn;
+    p.tracked_ = TrackedBytes(MemClass::Weights, p.storageBytes());
+    return p;
+}
+
 Tensor
 PackedTernary::toDense() const
 {

@@ -37,6 +37,15 @@ class PackedTernary
      */
     static PackedTernary pack(const Tensor &ternaryDense);
 
+    /**
+     * Assemble from raw parts, as a deserialiser would. No validation
+     * is performed here — run analysis::verifyPackedTernary on the
+     * result before letting a kernel decode it.
+     */
+    static PackedTernary fromRaw(Shape shape,
+                                 std::vector<uint8_t> words, float wp,
+                                 float wn);
+
     /** Original tensor shape. */
     const Shape &shape() const { return shape_; }
 
@@ -53,6 +62,16 @@ class PackedTernary
         // Branch-free-ish decode: code 1 -> +wp, code 2 -> -wn.
         return code == 1 ? wp_ : (code == 2 ? -wn_ : 0.0f);
     }
+
+    /** Raw 2-bit code of element @p i (0b11 is reserved). */
+    uint8_t
+    code(size_t i) const
+    {
+        return (words_[i >> 2] >> ((i & 3) * 2)) & 0x3;
+    }
+
+    /** The packed code words (4 codes per byte). */
+    const std::vector<uint8_t> &words() const { return words_; }
 
     /** Expand back to a dense tensor. */
     Tensor toDense() const;

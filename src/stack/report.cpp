@@ -7,7 +7,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/memory_estimate.hpp"
 #include "core/error.hpp"
+#include "core/memory_tracker.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "stack/inference_stack.hpp"
@@ -36,17 +38,6 @@ writeJsonCell(std::ostream &out, const std::string &cell)
         out << cell;
     else
         out << '"' << obs::jsonEscape(cell) << '"';
-}
-
-const char *
-convAlgoName(ConvAlgo algo)
-{
-    switch (algo) {
-      case ConvAlgo::Direct:     return "direct";
-      case ConvAlgo::Im2colGemm: return "im2col-gemm";
-      case ConvAlgo::Winograd:   return "winograd";
-    }
-    return "?";
 }
 
 void
@@ -161,6 +152,15 @@ collectRunReport(InferenceStack &stack, ExecContext &ctx,
     obs::Metrics *saved = ctx.metrics;
     ctx.metrics = metrics;
 
+    // Snapshot the tracker before the input exists so the observed
+    // peaks below are deltas over exactly what the static estimate
+    // models: the held input plus the forward's transients.
+    auto &tracker = MemoryTracker::instance();
+    const size_t preActivations =
+        tracker.currentBytes(MemClass::Activations);
+    const size_t preScratch = tracker.currentBytes(MemClass::Scratch);
+    tracker.resetPeaks();
+
     Rng rng(stack.config().seed + 99);
     Tensor input(stack.inputShape(batch));
     input.fillNormal(rng, 0.0f, 1.0f);
@@ -197,6 +197,22 @@ collectRunReport(InferenceStack &stack, ExecContext &ctx,
     rep.batch = batch;
     rep.latency = obs::LatencyStats::from(std::move(forwardTimes));
     rep.counters = metrics->snapshot();
+
+    auto delta = [](size_t now, size_t base) {
+        return now > base ? now - base : 0;
+    };
+    rep.memory.collected = true;
+    rep.memory.observedActivations =
+        delta(tracker.peakBytes(MemClass::Activations), preActivations);
+    rep.memory.observedScratch =
+        delta(tracker.peakBytes(MemClass::Scratch), preScratch);
+    const analysis::MemoryEstimate est = analysis::estimateForwardMemory(
+        stack.model().net, stack.inputShape(batch), ctx.backend,
+        ctx.convAlgo);
+    rep.memory.staticWeights = est.weights;
+    rep.memory.staticSparseMeta = est.sparseMeta;
+    rep.memory.staticActivations = est.activationsPeak;
+    rep.memory.staticScratch = est.scratchPeak;
 
     for (LayerCost &cost : stack.stageCosts(batch)) {
         LayerObservation entry;
@@ -279,6 +295,16 @@ writeRunReportJson(const RunReport &report, const std::string &path)
         << ", \"batch\": " << report.batch << "},\n"
         << "  \"latency_s\": ";
     writeLatencyJson(out, report.latency);
+    if (report.memory.collected) {
+        const MemoryObservation &m = report.memory;
+        out << ",\n  \"memory\": {"
+            << "\"static_weights\": " << m.staticWeights
+            << ", \"static_sparse_meta\": " << m.staticSparseMeta
+            << ", \"static_activations\": " << m.staticActivations
+            << ", \"static_scratch\": " << m.staticScratch
+            << ", \"observed_activations\": " << m.observedActivations
+            << ", \"observed_scratch\": " << m.observedScratch << '}';
+    }
     out << ",\n  \"layers\": [";
     for (size_t i = 0; i < report.layers.size(); ++i) {
         const LayerObservation &l = report.layers[i];

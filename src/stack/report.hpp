@@ -70,6 +70,24 @@ struct LayerObservation
     obs::LatencyStats latency;
 };
 
+/**
+ * The static memory prediction (analysis::estimateForwardMemory)
+ * joined with the MemoryTracker's observation of the same run. The
+ * static and observed activation/scratch peaks agree byte-for-byte on
+ * the serial backend; a mismatch means the allocation model and the
+ * runtime have drifted apart.
+ */
+struct MemoryObservation
+{
+    bool collected = false; //!< filled in by collectRunReport
+    size_t staticWeights = 0;
+    size_t staticSparseMeta = 0;
+    size_t staticActivations = 0; //!< predicted activation high-water
+    size_t staticScratch = 0;     //!< predicted im2col workspace peak
+    size_t observedActivations = 0; //!< tracker peak delta over the run
+    size_t observedScratch = 0;
+};
+
 /** Machine-readable record of one measured run. */
 struct RunReport
 {
@@ -83,6 +101,7 @@ struct RunReport
     size_t batch = 1;
     obs::LatencyStats latency; //!< whole-forward latency (seconds)
     std::vector<LayerObservation> layers;
+    MemoryObservation memory;
     /** Raw run-total counter snapshot ("<layer>.<counter>"). */
     std::map<std::string, uint64_t> counters;
 };

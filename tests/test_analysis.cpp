@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Static-analysis tests: the malformed-model corpus (one test per
+ * defect class the verifier must catch), the clean-model configuration
+ * matrix, byte-exactness of the static memory estimate against the
+ * MemoryTracker, and the serving engine's deployment pre-flight.
+ */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.hpp"
+#include "nn/models/model.hpp"
+#include "nn/pooling.hpp"
+#include "nn/residual_block.hpp"
+#include "serve/engine.hpp"
+#include "stack/inference_stack.hpp"
+#include "stack/report.hpp"
+
+namespace dlis {
+namespace {
+
+using analysis::Check;
+using analysis::Severity;
+using analysis::VerifyOptions;
+using analysis::VerifyReport;
+
+VerifyReport
+verify(const Network &net, Shape input,
+       Backend backend = Backend::Serial,
+       ConvAlgo algo = ConvAlgo::Direct)
+{
+    VerifyOptions opts;
+    opts.input = std::move(input);
+    opts.backend = backend;
+    opts.convAlgo = algo;
+    return analysis::verifyNetwork(net, opts);
+}
+
+/** A well-formed CSR slice for a 3x3 filter (nnz = 3). */
+CsrSlice
+validSlice()
+{
+    CsrSlice s;
+    s.rowPtr = {0, 2, 3, 3};
+    s.colIdx = {0, 2, 1};
+    s.values = {1.0f, -0.5f, 0.25f};
+    return s;
+}
+
+/** One 3x3 conv whose CSR image is installed from @p slice. */
+Network
+csrConvNet(CsrSlice slice)
+{
+    Network net("csr-corpus");
+    Conv2d *conv = net.emplace<Conv2d>("conv", 1, 1, 3, 1, 1, false);
+    conv->setCsrWeight(
+        CsrFilterBank::fromRaw(1, 1, 3, 3, {std::move(slice)}));
+    return net;
+}
+
+// ---------------------------------------------------------------------
+// Malformed-model corpus: six seeded defect classes, one test each.
+// ---------------------------------------------------------------------
+
+TEST(Corpus, ShapeMismatchBetweenLayers)
+{
+    Network net("bad-shapes");
+    Rng rng(1);
+    net.emplace<Conv2d>("conv1", 3, 8, 3, 1, 1)->initKaiming(rng);
+    // Expects 16 input channels but conv1 produces 8.
+    net.emplace<Conv2d>("conv2", 16, 8, 3, 1, 1)->initKaiming(rng);
+
+    const VerifyReport rep = verify(net, Shape{1, 3, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::ChannelMismatch));
+    EXPECT_NE(rep.firstError().find("conv2"), std::string::npos);
+}
+
+TEST(Corpus, UnsortedCsrColumns)
+{
+    CsrSlice s = validSlice();
+    s.colIdx = {2, 0, 1}; // row 0 holds columns {2, 0}: out of order
+    const VerifyReport rep =
+        verify(csrConvNet(std::move(s)), Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::UnsortedColumns));
+}
+
+TEST(Corpus, CsrColumnIndexOutOfRange)
+{
+    CsrSlice s = validSlice();
+    s.colIdx[1] = 5; // kw is 3; a kernel would read past the row
+    const VerifyReport rep =
+        verify(csrConvNet(std::move(s)), Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::ColumnOutOfRange));
+}
+
+TEST(Corpus, NonMonotoneRowPtr)
+{
+    CsrSlice s = validSlice();
+    s.rowPtr = {0, 2, 1, 3}; // row 1 "ends" before it starts
+    const VerifyReport rep =
+        verify(csrConvNet(std::move(s)), Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::BadRowPtr));
+}
+
+TEST(Corpus, WinogradOnFiveByFive)
+{
+    Network net("wino-5x5");
+    Rng rng(1);
+    net.emplace<Conv2d>("conv5x5", 3, 8, 5, 1, 2)->initKaiming(rng);
+
+    const VerifyReport rep = verify(net, Shape{1, 3, 8, 8},
+                                    Backend::Serial, ConvAlgo::Winograd);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::WinogradInapplicable));
+    // The same net is fine under the direct algorithm.
+    EXPECT_TRUE(verify(net, Shape{1, 3, 8, 8}).ok());
+}
+
+TEST(Corpus, AliasedResidualSkipAdd)
+{
+    Network net("bad-residual");
+    Rng rng(1);
+    auto *block = net.emplace<ResidualBlock>("block", 16, 16, 1);
+    block->initKaiming(rng);
+    // Prune the *second* conv's outputs: the paper allows surgery only
+    // on layers between the shortcuts, because the trunk width must be
+    // restored for the in-place elementwise add. This breaks that
+    // contract: main path now yields 8 channels, the skip still 16.
+    std::vector<size_t> keep(8);
+    std::iota(keep.begin(), keep.end(), 0);
+    block->conv2().keepOutputChannels(keep);
+    block->bn2().keepChannels(keep);
+
+    const VerifyReport rep = verify(net, Shape{1, 16, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::ResidualAddMismatch));
+}
+
+TEST(Corpus, MalformedPackedTernary)
+{
+    // Reserved code 0b11 in the first element.
+    Network bad("bad-ternary");
+    Conv2d *conv = bad.emplace<Conv2d>("conv", 1, 1, 3, 1, 1, false);
+    std::vector<uint8_t> words((9 + 3) / 4, 0);
+    words[0] = 0x03;
+    conv->setPackedWeight(PackedTernary::fromRaw(
+        Shape{1, 1, 3, 3}, std::move(words), 0.5f, 0.5f));
+    const VerifyReport rep = verify(bad, Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::BadTernaryCode));
+
+    // Negative codebook scale.
+    Network neg("neg-ternary");
+    conv = neg.emplace<Conv2d>("conv", 1, 1, 3, 1, 1, false);
+    conv->setPackedWeight(PackedTernary::fromRaw(
+        Shape{1, 1, 3, 3}, std::vector<uint8_t>((9 + 3) / 4, 0), 0.5f,
+        -0.5f));
+    EXPECT_TRUE(
+        verify(neg, Shape{1, 1, 8, 8}).has(Check::BadTernaryScale));
+}
+
+TEST(Corpus, CleanSeededModelsPass)
+{
+    // The corpus builders' non-defective twins all verify clean, so
+    // each corpus test isolates exactly its seeded defect.
+    EXPECT_TRUE(
+        verify(csrConvNet(validSlice()), Shape{1, 1, 8, 8}).ok());
+
+    Network res("good-residual");
+    Rng rng(1);
+    res.emplace<ResidualBlock>("block", 16, 32, 2)->initKaiming(rng);
+    EXPECT_TRUE(verify(res, Shape{1, 16, 8, 8}).ok());
+
+    Network tern("good-ternary");
+    Conv2d *conv = tern.emplace<Conv2d>("conv", 1, 1, 3, 1, 1, false);
+    Tensor w(Shape{1, 1, 3, 3}, MemClass::Weights);
+    w[0] = 0.5f;
+    w[4] = -0.25f;
+    conv->setPackedWeight(PackedTernary::pack(w));
+    EXPECT_TRUE(verify(tern, Shape{1, 1, 8, 8}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Additional verifier rules.
+// ---------------------------------------------------------------------
+
+TEST(Verifier, OclBackendRejectsSparseFormats)
+{
+    const VerifyReport rep = verify(csrConvNet(validSlice()),
+                                    Shape{1, 1, 8, 8},
+                                    Backend::OclHandTuned);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::UnsupportedFormat));
+}
+
+TEST(Verifier, SparseWeightsPinDirectAlgorithm)
+{
+    const VerifyReport rep =
+        verify(csrConvNet(validSlice()), Shape{1, 1, 8, 8},
+               Backend::Serial, ConvAlgo::Im2colGemm);
+    // Runs, but the im2col request is silently ignored: a warning.
+    EXPECT_TRUE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::AlgoIgnored));
+}
+
+TEST(Verifier, ByteAccountingCrossCheck)
+{
+    // fromRaw recomputes storageBytes from the arrays, so a healthy
+    // bank passes the accounting check; corrupt arrays shift it.
+    CsrSlice s = validSlice();
+    s.values.push_back(9.0f); // now values disagree with colIdx/rowPtr
+    const VerifyReport rep =
+        verify(csrConvNet(std::move(s)), Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::SizeMismatch));
+}
+
+TEST(Verifier, PoolTruncationAndEmptyNetwork)
+{
+    Network net("truncating-pool");
+    net.emplace<MaxPool2d>("pool", 2);
+    const VerifyReport rep = verify(net, Shape{1, 4, 7, 7});
+    // The runtime's maxPool rejects non-divisible inputs outright.
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::PoolTruncation));
+
+    Network empty("empty");
+    EXPECT_TRUE(verify(empty, Shape{1, 3, 8, 8})
+                    .has(Check::EmptyNetwork));
+}
+
+TEST(Verifier, FoldBnHazardOnSparseConv)
+{
+    Network net("csr-then-bn");
+    Rng rng(1);
+    Conv2d *conv =
+        net.emplace<Conv2d>("conv", 3, 8, 3, 1, 1, false);
+    conv->initKaiming(rng);
+    conv->setFormat(WeightFormat::Csr);
+    net.emplace<BatchNorm2d>("bn", 8);
+
+    const VerifyReport rep = verify(net, Shape{1, 3, 8, 8});
+    EXPECT_TRUE(rep.ok()); // hazard for fold_bn, fine for inference
+    EXPECT_TRUE(rep.has(Check::FoldBnHazard));
+}
+
+TEST(Verifier, BadThreadCountIsConfigError)
+{
+    Network net("tiny");
+    Rng rng(1);
+    net.emplace<Conv2d>("conv", 3, 4, 3, 1, 1)->initKaiming(rng);
+    VerifyOptions opts;
+    opts.input = Shape{1, 3, 8, 8};
+    opts.threads = 0;
+    const VerifyReport rep = analysis::verifyNetwork(net, opts);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::BadConfig));
+}
+
+// ---------------------------------------------------------------------
+// Clean-model matrix: every runtime-supported backend x format combo
+// of the three paper models verifies clean; unsupported combos are
+// rejected with the precise diagnostic.
+// ---------------------------------------------------------------------
+
+struct MatrixCase
+{
+    Technique technique;
+    WeightFormat format;
+};
+
+TEST(Matrix, PaperModelsAcrossSupportedConfigs)
+{
+    const MatrixCase cases[] = {
+        {Technique::None, WeightFormat::Dense},
+        {Technique::WeightPruning, WeightFormat::Csr},
+        {Technique::Quantisation, WeightFormat::PackedTernary},
+    };
+    const Backend cpuBackends[] = {Backend::Serial, Backend::OpenMP};
+    const Backend oclBackends[] = {Backend::OclHandTuned,
+                                   Backend::OclGemmLib};
+
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        for (const MatrixCase &mc : cases) {
+            StackConfig config;
+            config.modelName = model;
+            config.widthMult = 0.25;
+            config.technique = mc.technique;
+            config.wpSparsity = 0.5;
+            config.ttqSparsity = 0.5;
+            config.ttqThreshold = 0.05;
+            config.format = mc.format;
+            InferenceStack stack(config);
+
+            // CPU backends support every format.
+            for (Backend b : cpuBackends) {
+                const VerifyReport rep =
+                    verify(stack.model().net, stack.inputShape(1), b);
+                EXPECT_TRUE(rep.ok())
+                    << model << " x " << weightFormatName(mc.format)
+                    << " x " << backendName(b) << ":\n"
+                    << rep.str();
+            }
+            // The simulated OpenCL backends are dense-only.
+            for (Backend b : oclBackends) {
+                const VerifyReport rep =
+                    verify(stack.model().net, stack.inputShape(1), b);
+                if (mc.format == WeightFormat::Dense) {
+                    EXPECT_TRUE(rep.ok()) << rep.str();
+                } else {
+                    EXPECT_FALSE(rep.ok())
+                        << model << " x "
+                        << weightFormatName(mc.format) << " x "
+                        << backendName(b);
+                    EXPECT_TRUE(rep.has(Check::UnsupportedFormat));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static memory estimate vs the MemoryTracker's observation.
+// ---------------------------------------------------------------------
+
+TEST(MemoryEstimate, MatchesObservedPeakExactly)
+{
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        StackConfig config;
+        config.modelName = model;
+        config.widthMult = 0.25;
+        InferenceStack stack(config);
+
+        ExecContext ctx; // serial, direct: the paper's baseline
+        const RunReport rep = collectRunReport(stack, ctx, 2);
+        ASSERT_TRUE(rep.memory.collected);
+        EXPECT_EQ(rep.memory.staticActivations,
+                  rep.memory.observedActivations)
+            << model << ": static activation model has drifted from "
+                        "the runtime's allocation sequence";
+        EXPECT_EQ(rep.memory.staticScratch, rep.memory.observedScratch)
+            << model;
+
+        // The weights/meta side must agree with measureFootprint's
+        // byte-exact tracker deltas too.
+        const Footprint fp = stack.measureFootprint();
+        EXPECT_EQ(fp.weights, rep.memory.staticWeights) << model;
+        EXPECT_EQ(fp.sparseMeta, rep.memory.staticSparseMeta) << model;
+        EXPECT_EQ(fp.activations, rep.memory.staticActivations)
+            << model;
+        EXPECT_EQ(fp.scratch, rep.memory.staticScratch) << model;
+    }
+}
+
+TEST(MemoryEstimate, MatchesObservedPeakForCsrDeployment)
+{
+    StackConfig config;
+    config.modelName = "vgg16";
+    config.widthMult = 0.25;
+    config.technique = Technique::WeightPruning;
+    config.wpSparsity = 0.7;
+    config.format = WeightFormat::Csr;
+    InferenceStack stack(config);
+
+    ExecContext ctx;
+    const RunReport rep = collectRunReport(stack, ctx, 2);
+    EXPECT_EQ(rep.memory.staticActivations,
+              rep.memory.observedActivations);
+    const Footprint fp = stack.measureFootprint();
+    EXPECT_EQ(fp.weights, rep.memory.staticWeights);
+    EXPECT_EQ(fp.sparseMeta, rep.memory.staticSparseMeta);
+    EXPECT_GT(rep.memory.staticSparseMeta, 0u);
+}
+
+TEST(MemoryEstimate, PredictsIm2colScratch)
+{
+    StackConfig config;
+    config.modelName = "vgg16";
+    config.widthMult = 0.25;
+    InferenceStack stack(config);
+
+    ExecContext ctx;
+    ctx.convAlgo = ConvAlgo::Im2colGemm;
+    const RunReport rep = collectRunReport(stack, ctx, 2);
+    EXPECT_GT(rep.memory.staticScratch, 0u);
+    EXPECT_EQ(rep.memory.staticScratch, rep.memory.observedScratch);
+    EXPECT_EQ(rep.memory.staticActivations,
+              rep.memory.observedActivations);
+}
+
+// ---------------------------------------------------------------------
+// Serving-engine pre-flight.
+// ---------------------------------------------------------------------
+
+TEST(ServePreflight, BadDeploymentRejectedBeforeWorkersSpawn)
+{
+    StackConfig config;
+    config.modelName = "vgg16";
+    config.widthMult = 0.25;
+    config.technique = Technique::WeightPruning;
+    config.wpSparsity = 0.5;
+    config.format = WeightFormat::Csr;
+    InferenceStack stack(config);
+
+    serve::ServeConfig serveConfig;
+    serveConfig.workers = 1;
+    serveConfig.backend = Backend::OclHandTuned; // no sparse kernels
+    try {
+        serve::InferenceEngine engine(stack, serveConfig);
+        FAIL() << "engine accepted a CSR model on an OpenCL backend";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(e.reason(), serve::RejectReason::BadConfig);
+        EXPECT_NE(std::string(e.what()).find("unsupported-format"),
+                  std::string::npos);
+    }
+}
+
+TEST(ServePreflight, CleanDeploymentStartsAndServes)
+{
+    StackConfig config;
+    config.modelName = "vgg16";
+    config.widthMult = 0.25;
+    InferenceStack stack(config);
+
+    serve::ServeConfig serveConfig;
+    serveConfig.workers = 1;
+    serve::InferenceEngine engine(stack, serveConfig);
+    Tensor input(stack.inputShape(1));
+    Rng rng(3);
+    input.fillNormal(rng, 0.0f, 1.0f);
+    Tensor out = engine.submit(std::move(input)).get();
+    EXPECT_EQ(out.shape(), (Shape{1, config.classes}));
+    engine.shutdown();
+}
+
+} // namespace
+} // namespace dlis

@@ -252,5 +252,81 @@ TEST(Errors, FatalVersusPanic)
     }
 }
 
+TEST(ErrorMacros, CheckThrowsFatalOnFailure)
+{
+    EXPECT_NO_THROW(DLIS_CHECK(1 + 1 == 2, "arithmetic broke"));
+    EXPECT_THROW(DLIS_CHECK(1 + 1 == 3, "as expected"), FatalError);
+    // A failed check is the user's fault, never a PanicError.
+    try {
+        DLIS_CHECK(false, "detail ", 12);
+        FAIL() << "DLIS_CHECK(false, ...) did not throw";
+    } catch (const FatalError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("check failed"), std::string::npos);
+        EXPECT_NE(what.find("detail 12"), std::string::npos);
+    }
+}
+
+TEST(ErrorMacros, AssertThrowsPanicOnFailure)
+{
+    EXPECT_NO_THROW(DLIS_ASSERT(true, "fine"));
+    EXPECT_THROW(DLIS_ASSERT(false, "broken"), PanicError);
+    try {
+        DLIS_ASSERT(2 < 1, "impossible ", 'x');
+        FAIL() << "DLIS_ASSERT(false, ...) did not throw";
+    } catch (const PanicError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("assert failed"), std::string::npos);
+        EXPECT_NE(what.find("impossible x"), std::string::npos);
+    }
+}
+
+TEST(ErrorMacros, MessageIncludesFailingExpression)
+{
+    const int limit = 4;
+    try {
+        DLIS_CHECK(limit > 10, "limit too small");
+        FAIL() << "check passed unexpectedly";
+    } catch (const FatalError &e) {
+        // The stringised condition is part of the diagnostic.
+        EXPECT_NE(std::string(e.what()).find("limit > 10"),
+                  std::string::npos);
+    }
+    try {
+        DLIS_ASSERT(limit == 5, "invariant");
+        FAIL() << "assert passed unexpectedly";
+    } catch (const PanicError &e) {
+        EXPECT_NE(std::string(e.what()).find("limit == 5"),
+                  std::string::npos);
+    }
+}
+
+TEST(ErrorMacros, ConditionEvaluatedExactlyOnce)
+{
+    int evaluations = 0;
+    auto passing = [&evaluations]() {
+        ++evaluations;
+        return true;
+    };
+    DLIS_CHECK(passing(), "should pass");
+    EXPECT_EQ(evaluations, 1);
+
+    evaluations = 0;
+    DLIS_ASSERT(passing(), "should pass");
+    EXPECT_EQ(evaluations, 1);
+
+    auto failing = [&evaluations]() {
+        ++evaluations;
+        return false;
+    };
+    evaluations = 0;
+    EXPECT_THROW(DLIS_CHECK(failing(), "fails once"), FatalError);
+    EXPECT_EQ(evaluations, 1);
+
+    evaluations = 0;
+    EXPECT_THROW(DLIS_ASSERT(failing(), "fails once"), PanicError);
+    EXPECT_EQ(evaluations, 1);
+}
+
 } // namespace
 } // namespace dlis
