@@ -22,6 +22,7 @@
 #include "backend/im2col.hpp"
 #include "backend/winograd.hpp"
 #include "core/rng.hpp"
+#include "core/scratch_arena.hpp"
 #include "core/tensor.hpp"
 #include "obs/stats.hpp"
 
@@ -212,6 +213,42 @@ BM_Im2col(benchmark::State &state)
         state.iterations() * cols.size() * sizeof(float)));
 }
 DLIS_BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
+
+/**
+ * The whole im2col+GEMM conv path at steady state: a persistent
+ * arena (as every ExecContext now owns) serves the column and tile
+ * buffers, so after the first iteration warms it the loop performs
+ * zero heap allocations — the allocation-churn fix this measures.
+ */
+void
+BM_ConvIm2colGemmSteadyState(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 16);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 17);
+    Tensor out(Shape{1, c, 32, 32});
+
+    ScratchArena arena;
+    KernelPolicy pol{1, true};
+    pol.arena = &arena;
+
+    const size_t m = p.cout;
+    const size_t k = p.cin * p.kh * p.kw;
+    const size_t n = p.hout() * p.wout();
+    for (auto _ : state) {
+        ScratchArena::Scope scope(arena);
+        float *cols = arena.allocFloats(k * n);
+        kernels::im2col(p, in.data(), cols);
+        kernels::gemmBlocked(w.data(), cols, out.data(), m, k, n, pol);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * p.macs()));
+    state.counters["arenaKB"] =
+        static_cast<double>(arena.capacityBytes()) / 1024.0;
+}
+DLIS_BENCHMARK(BM_ConvIm2colGemmSteadyState)->Arg(16)->Arg(32)->Arg(64);
 
 } // namespace
 } // namespace dlis

@@ -251,6 +251,10 @@ main(int argc, char **argv)
     obs::Tracer tracer;
     obs::Metrics metrics;
     ExecContext ctx;
+    // --algo selects the measured conv algorithm too, not only the
+    // --verify target (im2col is how --metrics shows the arena warm).
+    ctx.convAlgo =
+        parseConvAlgo(argValue(argc, argv, "--algo", "direct"));
     if (!tracePath.empty())
         ctx.tracer = &tracer;
     if (!tracePath.empty() || !metricsPath.empty() || repeats > 1)

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "backend/gemm.hpp"
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "core/scratch_arena.hpp"
 #include "nn/models/model.hpp"
 #include "nn/pooling.hpp"
 #include "nn/residual_block.hpp"
@@ -16,11 +19,65 @@ bytesOf(const Shape &s)
     return s.numel() * sizeof(float);
 }
 
+size_t
+roundUp(size_t v, size_t to)
+{
+    return (v + to - 1) / to * to;
+}
+
+/**
+ * Thread count gemmBlocked's per-thread C tiles are sized for, given
+ * the context's backend and thread setting (ExecContext::policy gives
+ * non-OpenMP backends a serial kernel policy).
+ */
+size_t
+effectiveThreads(Backend backend, int threads)
+{
+    return backend == Backend::OpenMP && threads > 1
+               ? static_cast<size_t>(threads)
+               : size_t{1};
+}
+
+/**
+ * Arena bytes one gemmBlocked call bump-allocates: per-thread C tiles,
+ * carved out as a single block before the parallel region.
+ */
+size_t
+gemmTileDemand(size_t tileM, size_t tileN, size_t threads)
+{
+    return ScratchArena::alignUp(threads * tileM * tileN *
+                                 sizeof(float));
+}
+
+/**
+ * Arena bytes one GemmLibrary::gemm call allocates on top of its
+ * caller: three tile-padded packing buffers plus the nested
+ * gemmBlocked's C tiles. Assumes the default TuneConfig (the estimate
+ * has no runtime library handle; an autotuned config shifts the
+ * padding and the prediction with it).
+ */
+size_t
+gemmLibDemand(size_t m, size_t k, size_t n, size_t threads)
+{
+    const gemmlib::TuneConfig cfg;
+    const size_t mp = roundUp(m, cfg.mwg);
+    const size_t np = roundUp(n, cfg.nwg);
+    const size_t kp = roundUp(k, cfg.kwg);
+    return ScratchArena::alignUp(mp * kp * sizeof(float)) +
+           ScratchArena::alignUp(kp * np * sizeof(float)) +
+           ScratchArena::alignUp(mp * np * sizeof(float)) +
+           gemmTileDemand(cfg.mwg, cfg.nwg, threads);
+}
+
 /** Activation + scratch bytes a Conv2d::forward allocates beyond its
  *  input. Mirrors the dispatch in Conv2d::forward: the output tensor
  *  is always constructed up front, so the im2col and simulated-OpenCL
- *  paths pay for it *plus* their own result tensor, and the im2col
- *  column buffer is the only tracked scratch. */
+ *  paths pay for it *plus* their own result tensor. Scratch is the
+ *  layer's total scratch-arena demand — the sum of the aligned block
+ *  sizes its kernels bump-allocate within one scope (im2col columns,
+ *  GEMM C tiles, library packing buffers, Winograd filter
+ *  transforms); the arena's grow-only capacity, and therefore the
+ *  tracker's Scratch class, peaks at the largest layer demand. */
 struct Transient
 {
     size_t act = 0;
@@ -29,26 +86,53 @@ struct Transient
 
 Transient
 convTransient(const Conv2d &conv, const Shape &in, Backend backend,
-              ConvAlgo algo)
+              ConvAlgo algo, int threads)
 {
     const size_t out = bytesOf(conv.outputShape(in));
-    const size_t cols = conv.cin() * conv.kernel() * conv.kernel() *
-                        conv.outputShape(in).h() *
-                        conv.outputShape(in).w() * sizeof(float);
+    const size_t m = conv.cout();
+    const size_t k = conv.cin() * conv.kernel() * conv.kernel();
+    const size_t n = conv.outputShape(in).h() *
+                     conv.outputShape(in).w();
+    const size_t cols = ScratchArena::alignUp(k * n * sizeof(float));
+    const size_t eff = effectiveThreads(backend, threads);
 
-    const bool ocl = backend == Backend::OclHandTuned ||
-                     backend == Backend::OclGemmLib;
-    if (ocl) {
-        // Outer result tensor plus the path's own result tensor; the
-        // GEMM-library path also stages an im2col column buffer.
-        return {2 * out,
-                backend == Backend::OclGemmLib ? cols : size_t{0}};
-    }
+    if (backend == Backend::OclHandTuned)
+        return {2 * out, 0}; // direct simulated kernel, no workspace
+    if (backend == Backend::OclGemmLib)
+        return {2 * out, cols + gemmLibDemand(m, k, n, eff)};
     if (conv.format() != WeightFormat::Dense)
         return {out, 0}; // sparse/packed kernels run direct, in place
     if (algo == ConvAlgo::Im2colGemm)
-        return {2 * out, cols};
-    return {out, 0}; // direct or Winograd writes the outer tensor
+        return {2 * out, cols + gemmTileDemand(kernels::kGemmTileM,
+                                               kernels::kGemmTileN,
+                                               eff)};
+    if (algo == ConvAlgo::Winograd && conv.kernel() == 3 &&
+        conv.stride() == 1)
+        return {out, ScratchArena::alignUp(conv.cout() * conv.cin() *
+                                           16 * sizeof(float))};
+    return {out, 0}; // direct writes the outer tensor, no workspace
+}
+
+/** Arena demand of a Linear forward (only the GEMM-library routing
+ *  uses scratch: transpose staging for batched inputs plus the
+ *  library call itself). */
+size_t
+linearScratch(const Linear &fc, size_t batch, Backend backend,
+              int threads)
+{
+    if (backend != Backend::OclGemmLib ||
+        fc.format() != WeightFormat::Dense)
+        return 0;
+    const size_t eff = effectiveThreads(backend, threads);
+    size_t staging = 0;
+    if (batch > 1) {
+        staging = ScratchArena::alignUp(fc.inFeatures() * batch *
+                                        sizeof(float)) +
+                  ScratchArena::alignUp(fc.outFeatures() * batch *
+                                        sizeof(float));
+    }
+    return staging + gemmLibDemand(fc.outFeatures(), fc.inFeatures(),
+                                   batch, eff);
 }
 
 /** Transients of a residual block's forward, relative to its input.
@@ -57,19 +141,22 @@ convTransient(const Conv2d &conv, const Shape &in, Backend backend,
  *  once — the in-place add is the high-water point. */
 Transient
 residualTransient(const ResidualBlock &block, const Shape &in,
-                  Backend backend, ConvAlgo algo)
+                  Backend backend, ConvAlgo algo, int threads)
 {
-    const Transient t1 = convTransient(block.conv1(), in, backend, algo);
+    const Transient t1 =
+        convTransient(block.conv1(), in, backend, algo, threads);
     const Shape s1 = block.conv1().outputShape(in);
     const size_t b1 = bytesOf(s1);
-    const Transient t2 = convTransient(block.conv2(), s1, backend, algo);
+    const Transient t2 =
+        convTransient(block.conv2(), s1, backend, algo, threads);
     const Shape s2 = block.conv2().outputShape(s1);
     const size_t b2 = bytesOf(s2);
 
     size_t act = std::max({t1.act, 2 * b1, b1 + t2.act, 2 * b2});
     size_t scratch = std::max(t1.scratch, t2.scratch);
     if (const Conv2d *proj = block.projection()) {
-        const Transient tp = convTransient(*proj, in, backend, algo);
+        const Transient tp =
+            convTransient(*proj, in, backend, algo, threads);
         const size_t bp = bytesOf(proj->outputShape(in));
         act = std::max({act, b2 + tp.act, b2 + 2 * bp, 2 * b2 + bp});
         scratch = std::max(scratch, tp.scratch);
@@ -126,7 +213,7 @@ accumulateParams(const Layer &layer, MemoryEstimate &est)
 
 MemoryEstimate
 estimateForwardMemory(const Network &net, const Shape &input,
-                      Backend backend, ConvAlgo algo)
+                      Backend backend, ConvAlgo algo, int threads)
 {
     MemoryEstimate est;
     const size_t inputBytes = bytesOf(input);
@@ -144,10 +231,12 @@ estimateForwardMemory(const Network &net, const Shape &input,
         const Shape out = layer.outputShape(cur);
         Transient t{bytesOf(out), 0};
         if (const auto *conv = dynamic_cast<const Conv2d *>(&layer))
-            t = convTransient(*conv, cur, backend, algo);
+            t = convTransient(*conv, cur, backend, algo, threads);
         else if (const auto *block =
                      dynamic_cast<const ResidualBlock *>(&layer))
-            t = residualTransient(*block, cur, backend, algo);
+            t = residualTransient(*block, cur, backend, algo, threads);
+        else if (const auto *fc = dynamic_cast<const Linear *>(&layer))
+            t.scratch = linearScratch(*fc, cur[0], backend, threads);
 
         LayerMemory lm;
         lm.name = layer.name();

@@ -40,7 +40,13 @@ struct LayerMemory
      * its input is live (includes the output; excludes the input).
      */
     size_t transientBytes = 0;
-    size_t scratchBytes = 0; //!< im2col / workspace peak (Scratch)
+    /**
+     * The layer's scratch-arena demand: the sum of the aligned blocks
+     * its kernels bump-allocate within one arena scope (im2col
+     * columns, per-thread GEMM C tiles, library packing buffers,
+     * Winograd filter transforms).
+     */
+    size_t scratchBytes = 0;
 };
 
 /** Static memory high-water decomposition, in MemoryTracker classes. */
@@ -49,7 +55,13 @@ struct MemoryEstimate
     size_t weights = 0;         //!< parameter payload (MemClass::Weights)
     size_t sparseMeta = 0;      //!< CSR/ternary metadata (SparseMeta)
     size_t activationsPeak = 0; //!< peak live activation bytes
-    size_t scratchPeak = 0;     //!< peak live scratch bytes
+    /**
+     * Peak scratch bytes — the capacity the context's grow-only
+     * ScratchArena settles at, i.e. the largest per-layer arena
+     * demand. This is also the steady-state scratch footprint: the
+     * arena keeps its capacity across forwards.
+     */
+    size_t scratchPeak = 0;
     std::vector<LayerMemory> perLayer;
 
     /** Peak total footprint (weights + meta + activations + scratch). */
@@ -62,15 +74,21 @@ struct MemoryEstimate
 
 /**
  * Estimate the tracker-observed peak of one inference of @p net on
- * @p input under the given backend and convolution algorithm.
- * Inference mode only (training caches are not modelled). Shapes must
- * be consistent — run the verifier first; this throws FatalError on a
- * malformed network just like the runtime would.
+ * @p input under the given backend, convolution algorithm, and thread
+ * count (@p threads sizes the per-thread GEMM C tiles the OpenMP
+ * backend draws from the scratch arena; other backends run the GEMM
+ * serially). The GEMM-library paths assume the default
+ * gemmlib::TuneConfig — an autotuned configuration changes the
+ * padding, and the prediction with it. Inference mode only (training
+ * caches are not modelled). Shapes must be consistent — run the
+ * verifier first; this throws FatalError on a malformed network just
+ * like the runtime would.
  */
 MemoryEstimate estimateForwardMemory(const Network &net,
                                      const Shape &input,
                                      Backend backend = Backend::Serial,
-                                     ConvAlgo algo = ConvAlgo::Direct);
+                                     ConvAlgo algo = ConvAlgo::Direct,
+                                     int threads = 1);
 
 } // namespace dlis::analysis
 

@@ -421,7 +421,8 @@ verifyNetwork(const Network &net, const VerifyOptions &options)
     if (options.estimateMemory && verifier.shapesOk) {
         try {
             report.memory = estimateForwardMemory(
-                net, options.input, options.backend, options.convAlgo);
+                net, options.input, options.backend, options.convAlgo,
+                options.threads);
             report.memoryEstimated = true;
         } catch (const FatalError &e) {
             diag(report.diagnostics, Severity::Error, Check::BadShape,

@@ -13,6 +13,8 @@
 
 namespace dlis {
 
+class ScratchArena;
+
 /** Geometry of a 2-D convolution (square stride/padding). */
 struct ConvParams
 {
@@ -63,6 +65,13 @@ struct KernelPolicy
      * unchanged and the disabled path costs one branch.
      */
     obs::KernelCounters counters{};
+    /**
+     * Scratch arena the kernel draws workspaces from (not owned; the
+     * ExecContext owns it, one per worker). Null means "no context" —
+     * kernels then fall back to a call-local arena, which restores the
+     * old allocate-per-call behaviour for standalone kernel calls.
+     */
+    ScratchArena *arena = nullptr;
 };
 
 } // namespace dlis

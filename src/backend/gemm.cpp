@@ -2,7 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
+
+#include "core/scratch_arena.hpp"
+
+#if DLIS_HAVE_OPENMP
+#include <omp.h>
+#endif
 
 namespace dlis::kernels {
 
@@ -30,52 +35,78 @@ gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
             size_t n, const KernelPolicy &policy, size_t tileM,
             size_t tileN, size_t tileK)
 {
-    const size_t tm = tileM ? tileM : 32;
-    const size_t tn = tileN ? tileN : 64;
-    const size_t tk = tileK ? tileK : 64;
+    const size_t tm = tileM ? tileM : kGemmTileM;
+    const size_t tn = tileN ? tileN : kGemmTileN;
+    const size_t tk = tileK ? tileK : kGemmTileK;
 
     if (policy.counters.gemmCalls)
         policy.counters.gemmCalls->add(1);
     if (policy.counters.gemmMacs)
         policy.counters.gemmMacs->add(static_cast<uint64_t>(m) * k * n);
 
-    std::memset(c, 0, m * n * sizeof(float));
+#if DLIS_HAVE_OPENMP
+    const size_t nthreads =
+        policy.threads > 1 ? static_cast<size_t>(policy.threads) : 1;
+#else
+    const size_t nthreads = 1;
+#endif
 
-    const size_t row_tiles = (m + tm - 1) / tm;
+    // Per-thread C tiles come from the context's arena (or a
+    // call-local one for standalone calls). Carved out before the
+    // parallel region: the arena is single-consumer.
+    ScratchArena localArena;
+    ScratchArena &ar = policy.arena ? *policy.arena : localArena;
+    ScratchArena::Scope scope(ar, policy.counters);
+    float *ctiles = ar.allocFloats(nthreads * tm * tn);
 
-    auto tile_body = [&](size_t ti) {
-        const size_t i0 = ti * tm;
-        const size_t i1 = std::min(i0 + tm, m);
+    const size_t rowTiles = (m + tm - 1) / tm;
+    const size_t colTiles = (n + tn - 1) / tn;
+    const size_t tiles = rowTiles * colTiles;
+
+    // Each task owns one output tile end-to-end: zero a private
+    // accumulator, sweep the K dimension in ascending p order (the
+    // same per-element addition chain as a straight i/p/j loop, so
+    // results are bit-identical for every thread count), then copy
+    // out. No two tasks touch the same C cacheline.
+    auto tile_body = [&](size_t t, float *ctile) {
+        const size_t i0 = (t / colTiles) * tm;
+        const size_t j0 = (t % colTiles) * tn;
+        const size_t rows = std::min(tm, m - i0);
+        const size_t cols = std::min(tn, n - j0);
+        std::memset(ctile, 0, rows * cols * sizeof(float));
         for (size_t p0 = 0; p0 < k; p0 += tk) {
             const size_t p1 = std::min(p0 + tk, k);
-            for (size_t j0 = 0; j0 < n; j0 += tn) {
-                const size_t j1 = std::min(j0 + tn, n);
-                for (size_t i = i0; i < i1; ++i) {
-                    float *crow = c + i * n;
-                    for (size_t p = p0; p < p1; ++p) {
-                        const float av = a[i * k + p];
-                        const float *brow = b + p * n;
-                        for (size_t j = j0; j < j1; ++j)
-                            crow[j] += av * brow[j];
-                    }
+            for (size_t i = 0; i < rows; ++i) {
+                const float *arow = a + (i0 + i) * k;
+                float *crow = ctile + i * cols;
+                for (size_t p = p0; p < p1; ++p) {
+                    const float av = arow[p];
+                    const float *brow = b + p * n + j0;
+                    for (size_t j = 0; j < cols; ++j)
+                        crow[j] += av * brow[j];
                 }
             }
         }
+        for (size_t i = 0; i < rows; ++i)
+            std::memcpy(c + (i0 + i) * n + j0, ctile + i * cols,
+                        cols * sizeof(float));
     };
 
 #if DLIS_HAVE_OPENMP
-    if (policy.threads > 1) {
+    if (nthreads > 1) {
         if (policy.counters.ompRegions)
             policy.counters.ompRegions->add(1);
         #pragma omp parallel for schedule(dynamic) \
             num_threads(policy.threads)
-        for (size_t ti = 0; ti < row_tiles; ++ti)
-            tile_body(ti);
+        for (size_t t = 0; t < tiles; ++t)
+            tile_body(t, ctiles +
+                            static_cast<size_t>(omp_get_thread_num()) *
+                                tm * tn);
         return;
     }
 #endif
-    for (size_t ti = 0; ti < row_tiles; ++ti)
-        tile_body(ti);
+    for (size_t t = 0; t < tiles; ++t)
+        tile_body(t, ctiles);
 }
 
 void

@@ -17,6 +17,18 @@
 namespace dlis::kernels {
 
 /**
+ * @name Default GEMM blocking factors.
+ * Exported so the static memory estimate (analysis/memory_estimate)
+ * can mirror the per-thread C-tile workspace gemmBlocked draws from
+ * the scratch arena. They match gemmlib::TuneConfig's defaults.
+ */
+/** @{ */
+inline constexpr size_t kGemmTileM = 32;
+inline constexpr size_t kGemmTileN = 64;
+inline constexpr size_t kGemmTileK = 64;
+/** @} */
+
+/**
  * Reference GEMM: C = A * B (+ C if accumulate).
  *
  * @param a  row-major [m, k]
@@ -27,9 +39,16 @@ void gemmNaive(const float *a, const float *b, float *c, size_t m,
                size_t k, size_t n, bool accumulate = false);
 
 /**
- * Cache-blocked GEMM with tile sizes; serial or OpenMP over row tiles.
+ * Cache-blocked GEMM: C = A * B, tiled MC/KC/NC, serial or OpenMP over
+ * the flattened (row tile, column tile) grid. Each task accumulates
+ * into a per-thread C tile drawn from the policy's scratch arena (a
+ * call-local arena when policy.arena is null) and copies out once, so
+ * threads never share output cachelines and the kernel heap-allocates
+ * nothing at steady state. Per output element the additions run in
+ * strictly ascending p order, making the result bit-identical across
+ * thread counts and tile shapes.
  *
- * @param tileM/tileN/tileK  blocking factors (0 means a default)
+ * @param tileM/tileN/tileK  blocking factors (0 means kGemmTile*)
  */
 void gemmBlocked(const float *a, const float *b, float *c, size_t m,
                  size_t k, size_t n, const KernelPolicy &policy,

@@ -1,5 +1,7 @@
 #include "backend/im2col.hpp"
 
+#include <algorithm>
+
 namespace dlis::kernels {
 
 size_t
@@ -45,6 +47,11 @@ im2col(const ConvParams &p, const float *input, float *cols)
 void
 col2im(const ConvParams &p, const float *cols, float *input)
 {
+    // The scatter-add below accumulates with +=, so the image buffer
+    // is zeroed here rather than trusting callers to pre-clear it —
+    // a second invocation into the same buffer used to silently sum
+    // both results (scratch reuse made that garbage, not zeros).
+    std::fill(input, input + p.cin * p.hin * p.win, 0.0f);
     const size_t ho = p.hout(), wo = p.wout();
     const size_t out_spatial = ho * wo;
     size_t row = 0;

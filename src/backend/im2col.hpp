@@ -29,8 +29,11 @@ size_t im2colBufferSize(const ConvParams &p);
 void im2col(const ConvParams &p, const float *input, float *cols);
 
 /**
- * Inverse scatter-add of im2col (used by conv backward): accumulates
- * columns back into a CHW image buffer, which must be pre-zeroed.
+ * Inverse scatter-add of im2col (used by conv backward): zeroes the
+ * CHW image buffer, then accumulates the columns back into it. The
+ * buffer is fully overwritten — callers need not (and should not rely
+ * on) pre-zeroing it; overlapping kernel windows still sum within the
+ * single call, which is the gradient semantics conv backward needs.
  */
 void col2im(const ConvParams &p, const float *cols, float *input);
 

@@ -112,7 +112,9 @@ clGemmTiled(CommandQueue &queue, const float *a, const float *b, float *c,
             // K-tile of A and B into local memory, (2) barriers,
             // (3) accumulates. Phases are explicit loops here, which
             // is exactly what the barrier guarantees on a device.
-            std::vector<float> acc(tile * tile, 0.0f);
+            // Models the device's per-work-group registers, not
+            // host scratch; the simulator has no arena to draw on.
+            std::vector<float> acc(tile * tile, 0.0f); // dlis-lint: allow(kernel-heap-alloc)
             for (size_t k0 = 0; k0 < k; k0 += tile) {
                 // Phase 1: cooperative load (each work-item one elem).
                 for (size_t ly = 0; ly < tile; ++ly) {

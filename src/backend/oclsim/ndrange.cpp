@@ -57,7 +57,9 @@ CommandQueue::enqueueGroups(
     launches_.push_back(
         {range.totalItems(), range.totalGroups(), localMemBytes});
 
-    std::vector<float> local_mem(
+    // Simulated device-local memory (one buffer per enqueue), not
+    // per-call host scratch.
+    std::vector<float> local_mem( // dlis-lint: allow(kernel-heap-alloc)
         (localMemBytes + sizeof(float) - 1) / sizeof(float));
 
     WorkGroup group;

@@ -1,8 +1,7 @@
 #include "backend/winograd.hpp"
 
-#include <vector>
-
 #include "core/error.hpp"
+#include "core/scratch_arena.hpp"
 
 namespace dlis::kernels {
 
@@ -96,12 +95,17 @@ convWinograd(const ConvParams &p, const float *input, const float *weight,
     const size_t tiles_y = (ho + 1) / 2;
     const size_t tiles_x = (wo + 1) / 2;
 
-    // Pre-transform every filter once: U[oc][ci] is 4x4.
-    std::vector<float> u(p.cout * p.cin * 16);
+    // Pre-transform every filter once: U[oc][ci] is 4x4. The transform
+    // buffer lives in the context's scratch arena (call-local fallback
+    // for standalone calls) so repeat forwards allocate nothing.
+    ScratchArena localArena;
+    ScratchArena &ar = policy.arena ? *policy.arena : localArena;
+    ScratchArena::Scope scope(ar, policy.counters);
+    float *u = ar.allocFloats(p.cout * p.cin * 16);
     for (size_t oc = 0; oc < p.cout; ++oc)
         for (size_t ci = 0; ci < p.cin; ++ci)
             transformFilter(weight + (oc * p.cin + ci) * 9,
-                            u.data() + (oc * p.cin + ci) * 16);
+                            u + (oc * p.cin + ci) * 16);
 
     auto tile_body = [&](size_t img, size_t oc) {
         const float *in_img = input + img * p.cin * p.hin * p.win;
@@ -136,7 +140,7 @@ convWinograd(const ConvParams &p, const float *input, const float *weight,
                     float v[4][4];
                     transformInput(d, v);
                     const float *u_f =
-                        u.data() + (oc * p.cin + ci) * 16;
+                        u + (oc * p.cin + ci) * 16;
                     for (int e = 0; e < 16; ++e)
                         m[e / 4][e % 4] += u_f[e] * v[e / 4][e % 4];
                 }

@@ -1,0 +1,78 @@
+#include "core/scratch_arena.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "core/error.hpp"
+
+namespace dlis {
+
+ScratchArena::~ScratchArena()
+{
+    freeRetired();
+    ::operator delete[](base_, std::align_val_t{kAlignment});
+}
+
+void *
+ScratchArena::alloc(size_t bytes)
+{
+    const size_t need = used_ + alignUp(bytes);
+    if (need > capacity_)
+        grow(need);
+    void *p = base_ + used_;
+    used_ = need;
+    return p;
+}
+
+void
+ScratchArena::reserve(size_t bytes)
+{
+    const size_t need = used_ + alignUp(bytes);
+    if (need > capacity_)
+        grow(need);
+}
+
+void
+ScratchArena::rewind(size_t mark)
+{
+    DLIS_ASSERT(mark <= used_,
+                "arena rewind past the bump pointer (mark ", mark,
+                ", used ", used_, ")");
+    used_ = mark;
+    // Empty again: the outermost scope closed, so no block pointer can
+    // be live any more and the warmup leftovers can go.
+    if (used_ == 0 && !retired_.empty())
+        freeRetired();
+}
+
+void
+ScratchArena::grow(size_t newCapacity)
+{
+    // Exact growth, no geometric headroom: capacity must equal the
+    // aligned high-water demand so the static memory estimate can
+    // predict the tracker's Scratch peak byte-for-byte. (The tracker
+    // counts the arena's capacity; retired warmup buffers are freed at
+    // the enclosing full rewind and deliberately not counted.)
+    char *fresh = static_cast<char *>(::operator new[](
+        newCapacity, std::align_val_t{kAlignment}));
+    // Copy the live prefix so blocks keep their offsets; the old
+    // buffer is retired (see grow's doc) so pointers taken before the
+    // growth also stay valid until the full rewind.
+    if (used_ > 0)
+        std::memcpy(fresh, base_, used_);
+    if (base_)
+        retired_.push_back(base_);
+    base_ = fresh;
+    capacity_ = newCapacity;
+    tracked_.resize(capacity_);
+}
+
+void
+ScratchArena::freeRetired()
+{
+    for (char *buf : retired_)
+        ::operator delete[](buf, std::align_val_t{kAlignment});
+    retired_.clear();
+}
+
+} // namespace dlis

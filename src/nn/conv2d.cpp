@@ -7,6 +7,7 @@
 #include "backend/im2col.hpp"
 #include "backend/winograd.hpp"
 #include "backend/oclsim/cl_kernels.hpp"
+#include "core/scratch_arena.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -128,10 +129,18 @@ Conv2d::forwardIm2col(const Tensor &input, ExecContext &ctx)
     const size_t ho = p.hout(), wo = p.wout();
     const size_t ck = cin_ * kernel_ * kernel_;
 
-    Tensor cols(Shape{ck, ho * wo}, MemClass::Scratch);
     Tensor out(outputShape(input.shape()));
     const float *bias_ptr = withBias_ ? bias_.data() : nullptr;
     const KernelPolicy pol = kernelPolicy(ctx);
+
+    // The column buffer comes from the context's scratch arena and is
+    // reused for every image (and every later forward); the legacy
+    // per-call Tensor allocation remains only for arena-less callers.
+    ScratchArena localArena;
+    ScratchArena &ar = pol.arena ? *pol.arena : localArena;
+    ScratchArena::Scope scope(ar, pol.counters);
+    float *cols = ar.allocFloats(ck * ho * wo);
+    const size_t colsBytes = ck * ho * wo * sizeof(float);
 
     for (size_t img = 0; img < p.n; ++img) {
         const float *in_img = input.data() + img * cin_ * p.hin * p.win;
@@ -140,10 +149,10 @@ Conv2d::forwardIm2col(const Tensor &input, ExecContext &ctx)
         {
             obs::TraceSpan span(ctx.tracer, name_ + ".im2col",
                                 "kernel");
-            kernels::im2col(p, in_img, cols.data());
+            kernels::im2col(p, in_img, cols);
         }
         if (pol.counters.im2colBytes)
-            pol.counters.im2colBytes->add(cols.bytes());
+            pol.counters.im2colBytes->add(colsBytes);
 
         obs::TraceSpan gemmSpan(ctx.tracer, name_ + ".gemm", "kernel");
         if (ctx.backend == Backend::OclGemmLib) {
@@ -153,13 +162,13 @@ Conv2d::forwardIm2col(const Tensor &input, ExecContext &ctx)
                 // The paper flattens every matrix and ships it through
                 // OpenCL buffers before each library call.
                 ctx.queue->recordTransfer(
-                    cols.bytes() + weight_.bytes(), true);
+                    colsBytes + weight_.bytes(), true);
                 ctx.queue->recordTransfer(out.bytes() / p.n, false);
             }
-            ctx.gemmLib->gemm(weight_.data(), cols.data(), out_img,
+            ctx.gemmLib->gemm(weight_.data(), cols, out_img,
                               cout_, ck, ho * wo, pol);
         } else {
-            kernels::gemmBlocked(weight_.data(), cols.data(), out_img,
+            kernels::gemmBlocked(weight_.data(), cols, out_img,
                                  cout_, ck, ho * wo, pol);
         }
         gemmSpan.finish();

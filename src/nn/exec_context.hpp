@@ -9,11 +9,13 @@
 #define DLIS_NN_EXEC_CONTEXT_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "backend/conv_params.hpp"
 #include "backend/gemmlib/tuned_gemm.hpp"
 #include "backend/oclsim/ndrange.hpp"
+#include "core/scratch_arena.hpp"
 
 namespace dlis {
 
@@ -83,11 +85,26 @@ struct ExecContext
      */
     obs::Metrics *metrics = nullptr;
 
+    /**
+     * Scratch arena the conv/GEMM kernels draw workspaces from. Owned
+     * by the context and reused across forwards, so the steady state
+     * (second and later forwards through the same context) performs
+     * zero heap allocations in kernel bodies. Copied contexts share
+     * the arena — fine for the sequential copies the tests make, but
+     * concurrent workers must each build their own ExecContext (the
+     * serving engine does: one context, hence one arena, per worker).
+     */
+    std::shared_ptr<ScratchArena> arena =
+        std::make_shared<ScratchArena>();
+
     /** Threading policy handed to CPU kernels. */
     KernelPolicy
     policy() const
     {
-        return {backend == Backend::OpenMP ? threads : 1, true};
+        KernelPolicy pol{backend == Backend::OpenMP ? threads : 1,
+                         true};
+        pol.arena = arena.get();
+        return pol;
     }
 };
 

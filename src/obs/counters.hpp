@@ -79,6 +79,15 @@ struct KernelCounters
     Counter *im2colBytes = nullptr;
     /** OpenMP parallel regions launched. */
     Counter *ompRegions = nullptr;
+    /**
+     * Scratch-arena capacity growth (bytes) caused by this layer's
+     * kernels. Nonzero only while the arena warms up; a steady-state
+     * forward publishes zero — the regression signal the
+     * allocation-churn tests watch.
+     */
+    Counter *arenaBytes = nullptr;
+    /** Scratch-arena scope rewinds performed by this layer's kernels. */
+    Counter *arenaRewinds = nullptr;
 };
 
 } // namespace dlis::obs

@@ -74,6 +74,10 @@ Metrics::kernelCounters(const std::string &scope)
         &counter(scope + "." + counter_names::im2colBytes);
     out.ompRegions =
         &counter(scope + "." + counter_names::ompRegions);
+    out.arenaBytes =
+        &counter(scope + "." + counter_names::arenaBytes);
+    out.arenaRewinds =
+        &counter(scope + "." + counter_names::arenaRewinds);
     return out;
 }
 

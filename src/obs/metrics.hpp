@@ -31,6 +31,8 @@ inline constexpr const char *gemmCalls = "gemm_calls";
 inline constexpr const char *gemmMacs = "gemm_macs";
 inline constexpr const char *im2colBytes = "im2col_bytes";
 inline constexpr const char *ompRegions = "omp_regions";
+inline constexpr const char *arenaBytes = "arena_bytes";
+inline constexpr const char *arenaRewinds = "arena_rewinds";
 /** @name Serving-engine leaves (scope "serve", src/serve/engine). */
 /** @{ */
 inline constexpr const char *serveSubmitted = "submitted";

@@ -40,6 +40,34 @@ LatencyStats::from(std::vector<double> samples)
     return s;
 }
 
+ReservoirSampler::ReservoirSampler(size_t capacity, uint64_t seed)
+    : capacity_(capacity), rng_(seed)
+{
+    samples_.reserve(capacity_);
+}
+
+void
+ReservoirSampler::add(double value)
+{
+    ++count_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(value);
+        return;
+    }
+    // Algorithm R: the i-th observation replaces a random slot with
+    // probability capacity/i, keeping the retained set uniform.
+    const uint64_t slot = rng_.uniformInt(count_);
+    if (slot < capacity_)
+        samples_[static_cast<size_t>(slot)] = value;
+}
+
+void
+ReservoirSampler::reset()
+{
+    count_ = 0;
+    samples_.clear();
+}
+
 BucketHistogram::BucketHistogram(size_t maxValue)
     : buckets_(maxValue + 1)
 {

@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "core/rng.hpp"
+
 namespace dlis::obs {
 
 /**
@@ -37,6 +39,43 @@ struct LatencyStats
 
     /** Compute from raw samples (order irrelevant; copied locally). */
     static LatencyStats from(std::vector<double> samples);
+};
+
+/**
+ * Bounded uniform sample of an unbounded observation stream
+ * (Vitter's algorithm R). The serving engine records one latency per
+ * completed request; an unbounded vector there grows without limit on
+ * a long-lived deployment, so the engine keeps this fixed-capacity
+ * reservoir instead: after N observations each one is retained with
+ * probability capacity/N, making percentiles over the sample unbiased
+ * estimates of the stream's. Deterministically seeded — same stream,
+ * same sample. Not thread-safe; callers serialise add() (the engine
+ * holds its latency mutex).
+ */
+class ReservoirSampler
+{
+  public:
+    /** Keep at most @p capacity samples. @pre capacity > 0. */
+    explicit ReservoirSampler(size_t capacity,
+                              uint64_t seed = 0x5eedULL);
+
+    /** Observe one value. */
+    void add(double value);
+
+    /** Observations seen (not the retained count). */
+    uint64_t count() const { return count_; }
+
+    /** The retained sample, unordered; at most capacity values. */
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** Forget everything (the RNG state keeps advancing). */
+    void reset();
+
+  private:
+    size_t capacity_;
+    uint64_t count_ = 0;
+    std::vector<double> samples_;
+    Rng rng_;
 };
 
 /**

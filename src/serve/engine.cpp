@@ -37,12 +37,15 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
     : stack_(stack), config_(config), metrics_(metrics),
       tracer_(tracer), requestShape_(stack.inputShape(1)),
       queue_(config.queueCapacity),
-      batchHist_(std::max<size_t>(config.maxBatch, 1))
+      batchHist_(std::max<size_t>(config.maxBatch, 1)),
+      latencySample_(std::max<size_t>(config.latencyReservoir, 1))
 {
     DLIS_CHECK(config_.workers > 0, "engine needs at least one worker");
     DLIS_CHECK(config_.maxBatch > 0, "maxBatch must be positive");
     DLIS_CHECK(config_.queueCapacity > 0,
                "queueCapacity must be positive");
+    DLIS_CHECK(config_.latencyReservoir > 0,
+               "latencyReservoir must be positive");
 
     // Pre-flight: statically verify the model against this engine's
     // backend/algorithm before any worker spawns. A bad deployment is
@@ -160,7 +163,10 @@ InferenceEngine::stats() const
     s.batchHistogram = batchHist_.counts();
     {
         std::lock_guard<std::mutex> lock(latencyMutex_);
-        s.latency = obs::LatencyStats::from(latencySeconds_);
+        s.latency = obs::LatencyStats::from(latencySample_.samples());
+        // Percentiles come from the bounded reservoir; the count must
+        // still be the true completed total.
+        s.latency.count = latencySample_.count();
     }
     return s;
 }
@@ -187,7 +193,18 @@ InferenceEngine::workerLoop(size_t workerId)
             batch.front().enqueued +
             std::chrono::microseconds(config_.maxDelayUs);
         while (batch.size() < config_.maxBatch) {
-            auto next = queue_.popUntil(deadline);
+            std::optional<Request> next;
+            if (config_.maxDelayUs == 0 ||
+                std::chrono::steady_clock::now() >= deadline) {
+                // Linger disabled or exhausted: greedily take what is
+                // already queued, but never block the batch on a wait
+                // (a zero-linger engine must not park in wait_until at
+                // all — the deadline is the first request's enqueue
+                // time, typically already in the past).
+                next = queue_.tryPop();
+            } else {
+                next = queue_.popUntil(deadline);
+            }
             if (!next)
                 break; // linger expired, or closed and drained
             batch.push_back(std::move(*next));
@@ -244,7 +261,7 @@ InferenceEngine::runBatch(std::vector<Request> &batch, ExecContext &ctx,
         {
             std::lock_guard<std::mutex> lock(latencyMutex_);
             for (const Request &req : batch)
-                latencySeconds_.push_back(
+                latencySample_.add(
                     std::chrono::duration<double>(done - req.enqueued)
                         .count());
         }

@@ -26,8 +26,10 @@
  *
  * Inference-mode forwards mutate no layer state, so one model
  * instance is shared by all workers; each worker owns its ExecContext
- * (hence its scratch tensors) while counters/tracer/latency sinks are
- * the thread-safe obs types.
+ * — and with it one ScratchArena, which warms to the model's
+ * high-water scratch demand on the worker's first batch and makes
+ * every later batch allocation-free in the conv/GEMM kernels — while
+ * counters/tracer/latency sinks are the thread-safe obs types.
  */
 
 #ifndef DLIS_SERVE_ENGINE_HPP
@@ -81,8 +83,21 @@ struct ServeConfig
 {
     size_t workers = 2;        //!< worker (batcher) threads
     size_t maxBatch = 8;       //!< largest coalesced batch
-    uint64_t maxDelayUs = 2000; //!< batching linger after 1st request
+    /**
+     * Batching linger after the 1st request, microseconds. Zero means
+     * "never wait": a worker ships whatever is already queued, so a
+     * pre-filled queue still forms full batches but an empty one
+     * never delays a lone request.
+     */
+    uint64_t maxDelayUs = 2000;
     size_t queueCapacity = 64; //!< admission bound (backpressure)
+    /**
+     * Latency samples retained for stats() percentiles. The engine
+     * keeps a fixed-capacity uniform reservoir, not every sample —
+     * memory stays flat over any number of requests (EngineStats::
+     * latency.count still reports the true completed total).
+     */
+    size_t latencyReservoir = 4096;
 
     Backend backend = Backend::Serial; //!< per-worker compute backend
     int threads = 1;                   //!< OpenMP threads per worker
@@ -106,7 +121,11 @@ struct EngineStats
     size_t queuePeak = 0;   //!< high-water queue depth
     /** Realised batch sizes, index = size (0 unused). */
     std::vector<uint64_t> batchHistogram;
-    /** Enqueue-to-reply latency over completed requests (seconds). */
+    /**
+     * Enqueue-to-reply latency over completed requests (seconds).
+     * Percentiles are computed over the engine's bounded reservoir
+     * sample; count is the true number of completed requests.
+     */
     obs::LatencyStats latency;
 };
 
@@ -207,7 +226,7 @@ class InferenceEngine
     std::atomic<size_t> queuePeak_{0};
     obs::BucketHistogram batchHist_;
     mutable std::mutex latencyMutex_;
-    std::vector<double> latencySeconds_;
+    obs::ReservoirSampler latencySample_; //!< guarded by latencyMutex_
 };
 
 } // namespace serve

@@ -208,7 +208,7 @@ collectRunReport(InferenceStack &stack, ExecContext &ctx,
         delta(tracker.peakBytes(MemClass::Scratch), preScratch);
     const analysis::MemoryEstimate est = analysis::estimateForwardMemory(
         stack.model().net, stack.inputShape(batch), ctx.backend,
-        ctx.convAlgo);
+        ctx.convAlgo, ctx.threads);
     rep.memory.staticWeights = est.weights;
     rep.memory.staticSparseMeta = est.sparseMeta;
     rep.memory.staticActivations = est.activationsPeak;

@@ -9,6 +9,7 @@
 
 #include "core/error.hpp"
 #include "core/memory_tracker.hpp"
+#include "core/scratch_arena.hpp"
 #include "test_helpers.hpp"
 
 namespace dlis {
@@ -238,6 +239,103 @@ TEST(MemoryTracker, TensorRegistersItsBytes)
                   base + 2 * 1024 * sizeof(float));
     }
     EXPECT_EQ(tracker.currentBytes(MemClass::Activations), base);
+}
+
+TEST(ScratchArena, AlignsEveryBlock)
+{
+    ScratchArena arena;
+    for (size_t bytes : {1u, 63u, 64u, 65u, 1000u}) {
+        void *p = arena.alloc(bytes);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(p) %
+                      ScratchArena::kAlignment,
+                  0u)
+            << bytes;
+    }
+    // Every block occupies its aligned size exactly.
+    EXPECT_EQ(arena.usedBytes(), 64u + 64u + 64u + 128u + 1024u);
+}
+
+TEST(ScratchArena, CheckpointRewindOverlaysDemands)
+{
+    ScratchArena arena;
+    const size_t mark = arena.checkpoint();
+    arena.alloc(256);
+    EXPECT_EQ(arena.usedBytes(), 256u);
+    arena.rewind(mark);
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    // A second, smaller demand reuses the capacity — no growth.
+    arena.alloc(128);
+    EXPECT_EQ(arena.capacityBytes(), 256u);
+    arena.rewind(mark);
+    EXPECT_THROW(arena.rewind(1), PanicError); // past the bump pointer
+}
+
+TEST(ScratchArena, GrowthIsExactNotGeometric)
+{
+    ScratchArena arena;
+    arena.alloc(100); // aligned to 128
+    EXPECT_EQ(arena.capacityBytes(), 128u);
+    arena.alloc(100); // 128 more
+    EXPECT_EQ(arena.capacityBytes(), 256u);
+    arena.rewind(0);
+    arena.alloc(300); // 320 aligned > 256: grows to exactly 320
+    EXPECT_EQ(arena.capacityBytes(), 320u);
+}
+
+TEST(ScratchArena, GrowthPreservesEarlierBlocks)
+{
+    ScratchArena arena;
+    float *a = arena.allocFloats(16);
+    for (size_t i = 0; i < 16; ++i)
+        a[i] = static_cast<float>(i);
+    // Growing must not invalidate a: kernels hold pointers into the
+    // arena across nested allocations (im2col columns live across the
+    // GEMM's tile allocation).
+    float *b = arena.allocFloats(1 << 16);
+    b[0] = 1.0f;
+    for (size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(a[i], static_cast<float>(i));
+}
+
+TEST(ScratchArena, TracksCapacityAsScratch)
+{
+    auto &tracker = MemoryTracker::instance();
+    const size_t base = tracker.currentBytes(MemClass::Scratch);
+    {
+        ScratchArena arena;
+        EXPECT_EQ(tracker.currentBytes(MemClass::Scratch), base);
+        arena.alloc(1024);
+        EXPECT_EQ(tracker.currentBytes(MemClass::Scratch),
+                  base + 1024);
+        // Rewinding frees nothing: the capacity is the footprint.
+        arena.rewind(0);
+        EXPECT_EQ(tracker.currentBytes(MemClass::Scratch),
+                  base + 1024);
+    }
+    EXPECT_EQ(tracker.currentBytes(MemClass::Scratch), base);
+}
+
+TEST(ScratchArena, ScopePublishesGrowthAndRewinds)
+{
+    ScratchArena arena;
+    obs::Counter grown, rewinds;
+    obs::KernelCounters counters;
+    counters.arenaBytes = &grown;
+    counters.arenaRewinds = &rewinds;
+    {
+        ScratchArena::Scope scope(arena, counters);
+        arena.alloc(4096);
+    }
+    EXPECT_EQ(arena.usedBytes(), 0u);
+    EXPECT_EQ(grown.value(), 4096u);
+    EXPECT_EQ(rewinds.value(), 1u);
+    {
+        // Steady state: same demand again grows nothing.
+        ScratchArena::Scope scope(arena, counters);
+        arena.alloc(4096);
+    }
+    EXPECT_EQ(grown.value(), 4096u);
+    EXPECT_EQ(rewinds.value(), 2u);
 }
 
 TEST(Errors, FatalVersusPanic)

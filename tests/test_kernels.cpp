@@ -297,6 +297,24 @@ TEST(Im2col, RoundTripThroughCol2im)
                 1e-4f);
 }
 
+TEST(Im2col, Col2imZeroesItsOutputBuffer)
+{
+    // col2im owns the zeroing of its output: invoking it twice into
+    // the same buffer (a recycled arena block full of the previous
+    // call's sums) must yield the same result, not doubled garbage.
+    ConvParams p{1, 2, 5, 5, 1, 3, 3, 1, 1};
+    Tensor input = randomTensor(Shape{1, 2, 5, 5}, 61);
+    std::vector<float> cols(kernels::im2colBufferSize(p));
+    kernels::im2col(p, input.data(), cols.data());
+
+    Tensor out(Shape{1, 2, 5, 5});
+    kernels::col2im(p, cols.data(), out.data());
+    const Tensor first = out; // copy of the clean result
+    kernels::col2im(p, cols.data(), out.data());
+    for (size_t i = 0; i < out.numel(); ++i)
+        EXPECT_EQ(out[i], first[i]) << "index " << i;
+}
+
 TEST(LinearKernels, CsrMatchesDense)
 {
     const size_t batch = 3, in = 17, out = 9;

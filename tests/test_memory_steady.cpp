@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Allocation-steady-state regression tests for the scratch arena.
+ *
+ * The bug class this pins down: the conv/GEMM hot path used to
+ * allocate fresh im2col/packing/tile buffers on every forward. With
+ * the per-context ScratchArena, the FIRST forward warms the arena to
+ * the model's high-water scratch demand and every later forward must
+ * be allocation-free: the MemoryTracker's Scratch class records zero
+ * net new bytes and zero transient growth on the second pass, for
+ * every model x backend x algorithm combination the repo serves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "backend/oclsim/ndrange.hpp"
+#include "core/memory_tracker.hpp"
+#include "nn/models/model.hpp"
+#include "obs/metrics.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+struct Combo
+{
+    Backend backend;
+    int threads;
+    ConvAlgo algo;
+    const char *name;
+};
+
+/**
+ * Forward twice through one persistent context; the second pass must
+ * leave MemClass::Scratch exactly where the first left it — no net
+ * growth and no transient spike above the warmed capacity.
+ */
+void
+expectSecondForwardAllocationFree(Model &m, const Tensor &in,
+                                  ExecContext &ctx,
+                                  const std::string &what)
+{
+    auto &tracker = MemoryTracker::instance();
+
+    (void)m.net.forward(in, ctx); // warmup: arena grows to high water
+
+    const size_t warmed = tracker.currentBytes(MemClass::Scratch);
+    tracker.resetPeaks(); // peak := current
+    (void)m.net.forward(in, ctx);
+
+    EXPECT_EQ(tracker.currentBytes(MemClass::Scratch), warmed)
+        << what << ": second forward changed net scratch bytes";
+    EXPECT_EQ(tracker.peakBytes(MemClass::Scratch), warmed)
+        << what << ": second forward transiently allocated scratch";
+}
+
+TEST(MemorySteadyState, SecondForwardAllocatesNothingPerBackendAlgo)
+{
+    const Combo combos[] = {
+        {Backend::Serial, 1, ConvAlgo::Direct, "serial/direct"},
+        {Backend::Serial, 1, ConvAlgo::Im2colGemm, "serial/im2col"},
+        {Backend::Serial, 1, ConvAlgo::Winograd, "serial/winograd"},
+        {Backend::OpenMP, 2, ConvAlgo::Direct, "omp2/direct"},
+        {Backend::OpenMP, 2, ConvAlgo::Im2colGemm, "omp2/im2col"},
+        {Backend::OpenMP, 2, ConvAlgo::Winograd, "omp2/winograd"},
+    };
+
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        Rng rng(11);
+        Model m = makeModel(model, 10, 0.25, rng);
+        Tensor in = test::randomTensor(Shape{1, 3, 32, 32}, 12);
+
+        for (const Combo &combo : combos) {
+            ExecContext ctx;
+            ctx.backend = combo.backend;
+            ctx.threads = combo.threads;
+            ctx.convAlgo = combo.algo;
+            expectSecondForwardAllocationFree(
+                m, in, ctx, std::string(model) + "/" + combo.name);
+        }
+    }
+}
+
+TEST(MemorySteadyState, SecondForwardAllocatesNothingGemmLibrary)
+{
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        Rng rng(13);
+        Model m = makeModel(model, 10, 0.25, rng);
+        Tensor in = test::randomTensor(Shape{1, 3, 32, 32}, 14);
+
+        gemmlib::GemmLibrary lib;
+        oclsim::CommandQueue queue;
+        ExecContext ctx;
+        ctx.backend = Backend::OclGemmLib;
+        ctx.gemmLib = &lib;
+        ctx.queue = &queue;
+        expectSecondForwardAllocationFree(m, in, ctx,
+                                          std::string(model) +
+                                              "/gemmlib");
+    }
+}
+
+TEST(MemorySteadyState, ArenaCountersReportZeroGrowthWhenWarm)
+{
+    // The observable the serving dashboards watch: after warmup, every
+    // layer's arena_bytes counter stays flat (rewinds keep ticking).
+    Rng rng(17);
+    Model m = makeModel("mobilenet", 10, 0.25, rng);
+    Tensor in = test::randomTensor(Shape{1, 3, 32, 32}, 18);
+
+    obs::Metrics metrics;
+    ExecContext ctx;
+    ctx.convAlgo = ConvAlgo::Im2colGemm;
+    ctx.metrics = &metrics;
+
+    (void)m.net.forward(in, ctx);
+    uint64_t grownWarm = 0, rewindsWarm = 0;
+    for (const auto &[name, value] : metrics.snapshot()) {
+        if (name.size() > 11 &&
+            name.compare(name.size() - 11, 11, "arena_bytes") == 0)
+            grownWarm += value;
+        if (name.size() > 13 &&
+            name.compare(name.size() - 13, 13, "arena_rewinds") == 0)
+            rewindsWarm += value;
+    }
+    EXPECT_GT(grownWarm, 0u) << "warmup forward never grew the arena";
+    EXPECT_GT(rewindsWarm, 0u);
+
+    (void)m.net.forward(in, ctx);
+    uint64_t grownSteady = 0, rewindsSteady = 0;
+    for (const auto &[name, value] : metrics.snapshot()) {
+        if (name.size() > 11 &&
+            name.compare(name.size() - 11, 11, "arena_bytes") == 0)
+            grownSteady += value;
+        if (name.size() > 13 &&
+            name.compare(name.size() - 13, 13, "arena_rewinds") == 0)
+            rewindsSteady += value;
+    }
+    EXPECT_EQ(grownSteady, grownWarm)
+        << "steady-state forward grew the arena";
+    EXPECT_EQ(rewindsSteady, 2 * rewindsWarm);
+}
+
+} // namespace
+} // namespace dlis

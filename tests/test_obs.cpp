@@ -315,6 +315,48 @@ TEST(Stats, LatencyStatsFromSamples)
     EXPECT_NEAR(s.mean, 0.002, 1e-12);
 }
 
+TEST(Stats, ReservoirStaysBoundedAndCountsAll)
+{
+    obs::ReservoirSampler sampler(64);
+    for (int i = 0; i < 100000; ++i)
+        sampler.add(static_cast<double>(i));
+    EXPECT_EQ(sampler.count(), 100000u);
+    EXPECT_EQ(sampler.samples().size(), 64u);
+    // Uniform over 0..99999: the retained sample's median should land
+    // nowhere near the edges (loose bound, deterministic seed).
+    const auto stats = obs::LatencyStats::from(sampler.samples());
+    EXPECT_GT(stats.p50, 10000.0);
+    EXPECT_LT(stats.p50, 90000.0);
+
+    sampler.reset();
+    EXPECT_EQ(sampler.count(), 0u);
+    EXPECT_TRUE(sampler.samples().empty());
+}
+
+TEST(Stats, ReservoirKeepsEverythingUnderCapacity)
+{
+    obs::ReservoirSampler sampler(8);
+    for (int i = 0; i < 5; ++i)
+        sampler.add(static_cast<double>(i));
+    EXPECT_EQ(sampler.count(), 5u);
+    ASSERT_EQ(sampler.samples().size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(sampler.samples()[static_cast<size_t>(i)],
+                  static_cast<double>(i));
+}
+
+TEST(Stats, ReservoirIsDeterministicPerSeed)
+{
+    obs::ReservoirSampler a(16, 7), b(16, 7), c(16, 8);
+    for (int i = 0; i < 1000; ++i) {
+        a.add(i);
+        b.add(i);
+        c.add(i);
+    }
+    EXPECT_EQ(a.samples(), b.samples());
+    EXPECT_NE(a.samples(), c.samples());
+}
+
 TEST(RunReport, DisabledObservabilityIsBitIdentical)
 {
     StackConfig config;

@@ -192,6 +192,86 @@ TEST(Serve, ShutdownWithQueuedWorkDrains)
     engine.shutdown();
 }
 
+TEST(Serve, PopUntilPastDeadlineStillDrainsQueuedItems)
+{
+    serve::BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.tryPush(7));
+
+    // A deadline already in the past must not swallow queued work —
+    // wait_until with an expired deadline still re-checks the
+    // predicate, so the item comes back immediately.
+    const auto past = std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(10);
+    std::optional<int> got = queue.popUntil(past);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 7);
+
+    // Empty queue + past deadline: nullopt without blocking.
+    EXPECT_FALSE(queue.popUntil(past).has_value());
+}
+
+TEST(Serve, ZeroLingerStillFormsFullBatchesFromQueue)
+{
+    InferenceStack stack = makeStack();
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.maxBatch = 4;
+    config.maxDelayUs = 0; // never wait — but take what is queued
+    config.queueCapacity = 16;
+    config.startPaused = true;
+    serve::InferenceEngine engine(stack, config);
+
+    constexpr size_t kQueued = 8;
+    std::vector<std::future<Tensor>> futures;
+    for (size_t id = 0; id < kQueued; ++id)
+        futures.push_back(
+            engine.submit(payload(stack.inputShape(1), id)));
+
+    engine.resume();
+    for (std::future<Tensor> &f : futures)
+        EXPECT_NO_THROW((void)f.get());
+    engine.shutdown();
+
+    // A zero-linger worker facing a pre-filled queue must still ship
+    // full batches: 8 queued requests, maxBatch 4, one worker → two
+    // batches of exactly 4 (a greedy drain, not 8 singleton batches).
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.completed, kQueued);
+    EXPECT_EQ(stats.batches, 2u);
+    ASSERT_GT(stats.batchHistogram.size(), 4u);
+    EXPECT_EQ(stats.batchHistogram[4], 2u);
+}
+
+TEST(Serve, LatencyCountSurvivesBoundedReservoir)
+{
+    InferenceStack stack = makeStack();
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.maxDelayUs = 0;
+    config.queueCapacity = 32;
+    config.latencyReservoir = 4; // far fewer slots than requests
+    serve::InferenceEngine engine(stack, config);
+
+    constexpr size_t kTotal = 12;
+    std::vector<std::future<Tensor>> futures;
+    for (size_t id = 0; id < kTotal; ++id)
+        futures.push_back(
+            engine.submit(payload(stack.inputShape(1), id)));
+    for (std::future<Tensor> &f : futures)
+        EXPECT_NO_THROW((void)f.get());
+    engine.shutdown();
+
+    // The reservoir keeps only 4 samples, but the reported count is
+    // the true completed total and the percentiles are still sane.
+    const serve::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.completed, kTotal);
+    EXPECT_EQ(stats.latency.count, kTotal);
+    EXPECT_GT(stats.latency.p50, 0.0);
+    EXPECT_LE(stats.latency.p50, stats.latency.max);
+}
+
 TEST(Serve, RepeatedStartupShutdownCycles)
 {
     // Exercise pool construction/teardown repeatedly — the classic

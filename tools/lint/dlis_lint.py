@@ -14,6 +14,12 @@ expresses:
                    experiment must be reproducible from a seed.
   naked-new        No naked ``new``: ownership goes through
                    std::make_unique / containers.
+  kernel-heap-alloc
+                   No ``std::vector<float>`` workspaces in src/backend/
+                   kernels: per-call heap buffers are the allocation
+                   churn the ScratchArena removed — take the workspace
+                   from KernelPolicy::arena instead (see
+                   src/core/scratch_arena.hpp).
 
 Suppress a finding with a same-line comment::
 
@@ -37,6 +43,12 @@ SOURCE_SUFFIXES = {".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h"}
 # Files exempt from a specific rule (path suffix match).
 RULE_EXEMPT = {
     "nondeterminism": ("src/core/rng.hpp", "src/core/rng.cpp"),
+}
+
+# Rules that apply only under specific path prefixes (substring match
+# on the posix path, so relative and absolute invocations both work).
+RULE_ONLY = {
+    "kernel-heap-alloc": ("src/backend/",),
 }
 
 RULES = [
@@ -69,6 +81,12 @@ RULES = [
         "naked-new",
         re.compile(r"(?<![\w.])new\s+[A-Za-z_(:]"),
         "naked new; use std::make_unique or a container",
+    ),
+    (
+        "kernel-heap-alloc",
+        re.compile(r"std\s*::\s*vector\s*<\s*float\s*>"),
+        "per-call heap workspace in a kernel; allocate from "
+        "KernelPolicy::arena (core/scratch_arena.hpp)",
     ),
 ]
 
@@ -145,6 +163,9 @@ def lint_file(path: Path) -> list[str]:
             if rule in allowed:
                 continue
             if any(posix.endswith(e) for e in RULE_EXEMPT.get(rule, ())):
+                continue
+            only = RULE_ONLY.get(rule)
+            if only is not None and not any(o in posix for o in only):
                 continue
             m = pattern.search(line)
             if m:
