@@ -24,6 +24,13 @@
  * OpenMP rows use 8 threads, the paper's full-platform Odroid
  * configuration (Fig 4).
  *
+ * The engine's telemetry registry is live during every batched cell —
+ * there is no way to switch it off, so the batched column *is* the
+ * telemetry-enabled number (the per-request publishing is a handful
+ * of relaxed atomic adds; budgeted at <= 2% of throughput). Each cell
+ * finishes with a scrape sanity check: the registry must have counted
+ * exactly the requests the bench pushed through.
+ *
  * Writes serve_throughput.csv + BENCH_serve_throughput.json.
  */
 
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/error.hpp"
 #include "core/logging.hpp"
 #include "core/rng.hpp"
 #include "serve/engine.hpp"
@@ -87,6 +95,13 @@ batchedThroughput(InferenceStack &stack, Backend backend, int threads,
             std::chrono::steady_clock::now() - start)
             .count();
     engine.shutdown();
+
+    // Scrape sanity: the live registry counted what we measured.
+    const serve::EngineStats stats = engine.stats();
+    DLIS_CHECK(stats.completed == inputs.size(),
+               "telemetry scrape disagrees with the bench: counted ",
+               stats.completed, " completed of ", inputs.size());
+
     return static_cast<double>(inputs.size()) / seconds;
 }
 

@@ -16,19 +16,33 @@
  *             [--requests <n>]        trace length (default 256)
  *             [--rate <req/s>]        Poisson arrival rate (default 500)
  *             [--seed <n>]            trace seed (default 1)
+ *             [--telemetry-port <p>]  serve /metrics + /statusz on
+ *                                     127.0.0.1:<p> (0 = ephemeral)
+ *             [--hold]                after the replay, keep serving
+ *                                     telemetry until GET /quitquitquit
+ *             [--slo-p99-ms <ms>]     windowed-p99 SLO target (0 = off)
+ *             [--slo-max-shed <f>]    windowed shed-ratio ceiling
+ *             [--trace <path>]        write a Chrome trace of the run
  *
  * Prints offered vs served throughput, enqueue-to-reply latency
  * percentiles, the realised batch-size histogram, and the engine's
  * admission counters — the serving-layer face of the paper's
- * across-stack characterisation.
+ * across-stack characterisation. With --telemetry-port, the same
+ * quantities (plus the rolling windows) are scrapeable live:
+ *
+ *   curl http://127.0.0.1:<p>/metrics
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/replay.hpp"
+#include "serve/slo_watchdog.hpp"
+#include "serve/telemetry_server.hpp"
 #include "stack/inference_stack.hpp"
 
 using namespace dlis;
@@ -42,6 +56,15 @@ argValue(int argc, char **argv, const char *flag, const char *fallback)
         if (std::strcmp(argv[i], flag) == 0)
             return argv[i + 1];
     return fallback;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
 }
 
 } // namespace
@@ -108,6 +131,21 @@ main(int argc, char **argv)
     replay.seed = static_cast<uint64_t>(
         std::stoull(argValue(argc, argv, "--seed", "1")));
 
+    const char *tracePath = argValue(argc, argv, "--trace", "");
+    const bool hold = hasFlag(argc, argv, "--hold");
+    const bool wantTelemetry =
+        hasFlag(argc, argv, "--telemetry-port") || hold;
+    const uint16_t telemetryPort = static_cast<uint16_t>(
+        std::stoul(argValue(argc, argv, "--telemetry-port", "0")));
+
+    serve::SloConfig slo;
+    slo.p99TargetSeconds =
+        std::stod(argValue(argc, argv, "--slo-p99-ms", "0")) / 1e3;
+    slo.maxShedRatio =
+        std::stod(argValue(argc, argv, "--slo-max-shed", "1"));
+    slo.minWindowRequests = 8;
+    slo.evalPeriodSeconds = 0.5;
+
     std::printf("serve: %s width %.2f | %s | %s backend x%d | "
                 "%zu workers | max-batch %zu | linger %llu us | "
                 "queue %zu\n",
@@ -121,18 +159,52 @@ main(int argc, char **argv)
 
     InferenceStack stack(config);
     obs::Metrics metrics;
-    serve::InferenceEngine engine(stack, serveConfig, &metrics);
+    obs::Tracer tracer;
+    serve::InferenceEngine engine(
+        stack, serveConfig, &metrics,
+        tracePath[0] ? &tracer : nullptr);
+
+    std::unique_ptr<serve::TelemetryServer> telemetry;
+    if (wantTelemetry) {
+        telemetry = std::make_unique<serve::TelemetryServer>(
+            engine.telemetry(), telemetryPort);
+        std::printf("telemetry: curl http://127.0.0.1:%u/metrics\n",
+                    static_cast<unsigned>(telemetry->port()));
+    }
+    serve::SloWatchdog watchdog(engine, slo);
+    watchdog.start();
 
     const serve::ReplayReport report =
         serve::replayOpenLoop(engine, replay);
-    engine.shutdown();
     serve::printReplayReport(report);
 
     const serve::EngineStats stats = engine.stats();
     std::printf("  engine:     %llu batches | queue peak %zu | "
-                "%llu rejected\n",
+                "%llu rejected | window p99 %.3f ms | shed %.1f%%\n",
                 static_cast<unsigned long long>(stats.batches),
                 stats.queuePeak,
-                static_cast<unsigned long long>(stats.rejected));
+                static_cast<unsigned long long>(stats.rejected),
+                stats.latencyWindow.p99 * 1e3,
+                stats.shedRatioWindow * 1e2);
+
+    if (telemetry && hold) {
+        std::printf("holding: GET /quitquitquit (or SIGTERM) to "
+                    "exit\n");
+        std::fflush(stdout);
+        telemetry->waitForQuit();
+    }
+
+    watchdog.stop();
+    if (telemetry)
+        telemetry->stop();
+    engine.shutdown();
+
+    if (tracePath[0]) {
+        if (tracer.writeChromeTrace(tracePath))
+            std::printf("trace: wrote %zu spans to %s\n",
+                        tracer.eventCount(), tracePath);
+        else
+            std::printf("trace: FAILED to write %s\n", tracePath);
+    }
     return 0;
 }

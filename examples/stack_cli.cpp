@@ -21,6 +21,9 @@
  *                                        nonzero exit on any error
  *             [--trace <out.json>]       Chrome/Perfetto span trace
  *             [--metrics <out.json>]     expected-vs-actual report JSON
+ *             [--window <seconds>]       additionally report forward
+ *                                        latency over the trailing
+ *                                        window (rolling buckets)
  *             [--serve-sim]              replay an open-loop arrival
  *                                        trace through the serving
  *                                        engine instead of measuring
@@ -260,8 +263,10 @@ main(int argc, char **argv)
     if (!tracePath.empty() || !metricsPath.empty() || repeats > 1)
         ctx.metrics = &metrics;
 
-    const RunReport run =
-        collectRunReport(stack, ctx, repeats ? repeats : 1);
+    const double windowSeconds =
+        std::stod(argValue(argc, argv, "--window", "0"));
+    const RunReport run = collectRunReport(
+        stack, ctx, repeats ? repeats : 1, 1, windowSeconds);
     const Footprint fp = stack.measureFootprint();
 
     if (!tracePath.empty()) {
@@ -298,6 +303,13 @@ main(int argc, char **argv)
                     run.repeats);
     else
         std::printf("  host serial:      %.4f s\n", run.latency.p50);
+    if (run.windowSeconds > 0.0)
+        std::printf("  window %.1fs:      p50 %.4f s  p99 %.4f s "
+                    "(%llu forwards in window)\n",
+                    run.windowSeconds, run.latencyWindow.p50,
+                    run.latencyWindow.p99,
+                    static_cast<unsigned long long>(
+                        run.latencyWindow.count));
     std::printf("  memory: total %s MB (weights %s, csr-meta %s, "
                 "activations %s)\n",
                 fmtMb(fp.total).c_str(), fmtMb(fp.weights).c_str(),

@@ -72,6 +72,13 @@ struct KernelPolicy
      * old allocate-per-call behaviour for standalone kernel calls.
      */
     ScratchArena *arena = nullptr;
+    /**
+     * Serving request the current forward is executing on behalf of
+     * (0 = not request-attributed). Spans recorded below the layer
+     * level inherit this id so a request's trace stays connected from
+     * enqueue through the kernels that served it.
+     */
+    uint64_t traceFlowId = 0;
 };
 
 } // namespace dlis

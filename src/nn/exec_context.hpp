@@ -97,6 +97,14 @@ struct ExecContext
     std::shared_ptr<ScratchArena> arena =
         std::make_shared<ScratchArena>();
 
+    /**
+     * Serving request id the current forward is attributed to (0 =
+     * none). The serving engine sets this per batch so the per-layer
+     * spans Network::forward records join the request's trace; it
+     * rides into kernels via KernelPolicy::traceFlowId.
+     */
+    uint64_t traceFlowId = 0;
+
     /** Threading policy handed to CPU kernels. */
     KernelPolicy
     policy() const
@@ -104,6 +112,7 @@ struct ExecContext
         KernelPolicy pol{backend == Backend::OpenMP ? threads : 1,
                          true};
         pol.arena = arena.get();
+        pol.traceFlowId = traceFlowId;
         return pol;
     }
 };

@@ -34,7 +34,8 @@ Network::forward(const Tensor &input, ExecContext &ctx)
 {
     Tensor x = input;
     for (auto &layer : layers_) {
-        obs::TraceSpan span(ctx.tracer, layer->name(), "layer");
+        obs::TraceSpan span(ctx.tracer, layer->name(), "layer",
+                            ctx.traceFlowId);
         x = layer->forward(x, ctx);
     }
     return x;
@@ -48,7 +49,8 @@ Network::forwardProfiled(const Tensor &input, ExecContext &ctx,
     timings.reserve(layers_.size());
     Tensor x = input;
     for (auto &layer : layers_) {
-        obs::TraceSpan span(ctx.tracer, layer->name(), "layer");
+        obs::TraceSpan span(ctx.tracer, layer->name(), "layer",
+                            ctx.traceFlowId);
         const auto t0 = std::chrono::steady_clock::now();
         x = layer->forward(x, ctx);
         const auto t1 = std::chrono::steady_clock::now();

@@ -62,6 +62,17 @@ class ReservoirSampler
     /** Observe one value. */
     void add(double value);
 
+    /**
+     * Fold @p other into this reservoir as if both streams had been
+     * observed by one sampler: each retained slot is drawn from the
+     * two reservoirs weighted by their observation counts (n_a vs
+     * n_b), without replacement, so the merged sample stays a uniform
+     * sample of the combined stream. Used at scrape time to combine
+     * per-worker reservoirs. Deterministic given this sampler's RNG
+     * state; count() afterwards is the sum of both streams.
+     */
+    void merge(const ReservoirSampler &other);
+
     /** Observations seen (not the retained count). */
     uint64_t count() const { return count_; }
 

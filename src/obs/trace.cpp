@@ -22,7 +22,8 @@ Tracer::nowNs() const
 
 void
 Tracer::record(std::string name, std::string category,
-               uint64_t startNs, uint64_t durationNs)
+               uint64_t startNs, uint64_t durationNs,
+               uint64_t flowId)
 {
     TraceEvent ev;
     ev.name = std::move(name);
@@ -30,6 +31,7 @@ Tracer::record(std::string name, std::string category,
     ev.tid = currentThreadId();
     ev.startNs = startNs;
     ev.durationNs = durationNs;
+    ev.flowId = flowId;
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(std::move(ev));
 }
@@ -108,7 +110,10 @@ Tracer::writeChromeTrace(std::ostream &os) const
            << static_cast<double>(ev.startNs) / 1000.0
            << ",\"dur\":"
            << static_cast<double>(ev.durationNs) / 1000.0
-           << ",\"pid\":1,\"tid\":" << ev.tid << "}";
+           << ",\"pid\":1,\"tid\":" << ev.tid;
+        if (ev.flowId != 0)
+            os << ",\"args\":{\"request_id\":" << ev.flowId << "}";
+        os << "}";
     }
     os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

@@ -35,6 +35,13 @@ struct TraceEvent
     uint32_t tid = 0;
     uint64_t startNs = 0;
     uint64_t durationNs = 0;
+    /**
+     * Request the span belongs to (0 = none). Serving spans carry the
+     * RequestId minted at enqueue so one request's queue-wait, batch
+     * assembly, forward, and reply connect into a single trace; the
+     * exporter emits it as args.request_id on each span.
+     */
+    uint64_t flowId = 0;
 };
 
 /** Thread-safe span recorder. */
@@ -48,7 +55,8 @@ class Tracer
 
     /** Record a finished span. Thread-safe. */
     void record(std::string name, std::string category,
-                uint64_t startNs, uint64_t durationNs);
+                uint64_t startNs, uint64_t durationNs,
+                uint64_t flowId = 0);
 
     /** Number of spans recorded so far. */
     size_t eventCount() const;
@@ -86,12 +94,14 @@ class TraceSpan
 {
   public:
     TraceSpan(Tracer *tracer, std::string_view name,
-              std::string_view category = "span")
+              std::string_view category = "span",
+              uint64_t flowId = 0)
         : tracer_(tracer)
     {
         if (tracer_) {
             name_ = name;
             category_ = category;
+            flowId_ = flowId;
             startNs_ = tracer_->nowNs();
         }
     }
@@ -108,7 +118,8 @@ class TraceSpan
         if (!tracer_)
             return;
         tracer_->record(std::move(name_), std::move(category_),
-                        startNs_, tracer_->nowNs() - startNs_);
+                        startNs_, tracer_->nowNs() - startNs_,
+                        flowId_);
         tracer_ = nullptr;
     }
 
@@ -117,6 +128,7 @@ class TraceSpan
     std::string name_;
     std::string category_;
     uint64_t startNs_ = 0;
+    uint64_t flowId_ = 0;
 };
 
 /** Escape a string for embedding in a JSON string literal. */

@@ -33,12 +33,17 @@ RejectedError::RejectedError(RejectReason reason,
 InferenceEngine::InferenceEngine(InferenceStack &stack,
                                  ServeConfig config,
                                  obs::Metrics *metrics,
-                                 obs::Tracer *tracer)
+                                 obs::Tracer *tracer,
+                                 obs::MetricsRegistry *registry)
     : stack_(stack), config_(config), metrics_(metrics),
-      tracer_(tracer), requestShape_(stack.inputShape(1)),
+      tracer_(tracer),
+      ownedRegistry_(registry
+                         ? nullptr
+                         : std::make_unique<obs::MetricsRegistry>()),
+      registry_(registry ? registry : ownedRegistry_.get()),
+      requestShape_(stack.inputShape(1)),
       queue_(config.queueCapacity),
-      batchHist_(std::max<size_t>(config.maxBatch, 1)),
-      latencySample_(std::max<size_t>(config.latencyReservoir, 1))
+      batchHist_(std::max<size_t>(config.maxBatch, 1))
 {
     DLIS_CHECK(config_.workers > 0, "engine needs at least one worker");
     DLIS_CHECK(config_.maxBatch > 0, "maxBatch must be positive");
@@ -46,6 +51,21 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
                "queueCapacity must be positive");
     DLIS_CHECK(config_.latencyReservoir > 0,
                "latencyReservoir must be positive");
+    DLIS_CHECK(config_.windowBuckets > 0 &&
+                   config_.windowBucketSeconds > 0.0,
+               "rolling window needs >= 1 bucket of > 0 seconds");
+
+    // One reservoir per worker: workers sample their own completions
+    // without sharing a lock; stats() merges them into one unbiased
+    // sample of the combined stream. Seeds are per-worker so merged
+    // percentiles are reproducible run to run.
+    workerSamples_.reserve(config_.workers);
+    for (size_t i = 0; i < config_.workers; ++i)
+        workerSamples_.push_back(std::make_unique<WorkerSample>(
+            std::max<size_t>(config_.latencyReservoir, 1),
+            0x5eedULL + i));
+
+    registerInstruments();
 
     // Pre-flight: statically verify the model against this engine's
     // backend/algorithm before any worker spawns. A bad deployment is
@@ -67,6 +87,81 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
         resume();
 }
 
+void
+InferenceEngine::registerInstruments()
+{
+    obs::MetricsRegistry &reg = *registry_;
+    const obs::RollingConfig window{config_.windowBuckets,
+                                    config_.windowBucketSeconds};
+
+    submittedCtr_ =
+        &reg.counter("dlis_serve_requests_submitted_total",
+                     "Requests admitted to the serving queue");
+    completedCtr_ =
+        &reg.counter("dlis_serve_requests_completed_total",
+                     "Requests whose future was fulfilled with a result");
+    batchesCtr_ = &reg.counter("dlis_serve_batches_total",
+                               "Coalesced batch forwards executed");
+    const RejectReason reasons[] = {RejectReason::QueueFull,
+                                    RejectReason::ShutDown,
+                                    RejectReason::BadShape};
+    for (RejectReason r : reasons)
+        rejectedCtr_[static_cast<size_t>(r)] = &reg.counter(
+            "dlis_serve_requests_rejected_total",
+            "Requests refused at admission, by reason",
+            {{"reason", rejectReasonName(r)}});
+
+    queueDepthGauge_ = &reg.gauge("dlis_serve_queue_depth",
+                                  "Requests currently queued");
+    queuePeakGauge_ = &reg.gauge("dlis_serve_queue_peak",
+                                 "High-water queue depth");
+
+    batchSizeHist_ = &reg.histogram(
+        "dlis_serve_batch_size", "Realised batch sizes",
+        [this] {
+            std::vector<double> bounds;
+            bounds.reserve(config_.maxBatch);
+            for (size_t b = 1; b <= config_.maxBatch; ++b)
+                bounds.push_back(static_cast<double>(b));
+            return bounds;
+        }());
+    latencyHist_ = &reg.histogram(
+        "dlis_serve_latency_seconds",
+        "Enqueue-to-reply latency, completed requests (cumulative)",
+        obs::defaultLatencyBounds());
+    latencyWindow_ = &reg.rollingHistogram(
+        "dlis_serve_latency_window_seconds",
+        "Enqueue-to-reply latency over the trailing window",
+        obs::defaultLatencyBounds(), window);
+    admittedWindow_ =
+        &reg.rollingCounter("dlis_serve_admitted_window",
+                            "Requests admitted in the trailing window",
+                            window);
+    rejectedWindow_ =
+        &reg.rollingCounter("dlis_serve_rejected_window",
+                            "Requests rejected in the trailing window",
+                            window);
+
+    // Shed ratio is derived at scrape time from the two rolling
+    // counters. The lambda captures registry-owned instruments (and
+    // the registry itself for the clock), never the engine, so an
+    // injected registry stays scrapable after the engine is gone.
+    obs::MetricsRegistry *regPtr = registry_;
+    obs::RollingCounter *admitted = admittedWindow_;
+    obs::RollingCounter *rejected = rejectedWindow_;
+    reg.derivedGauge(
+        "dlis_serve_shed_ratio",
+        "rejected / (admitted + rejected) over the trailing window",
+        {}, [regPtr, admitted, rejected] {
+            const uint64_t now = regPtr->nowNs();
+            const double adm =
+                static_cast<double>(admitted->sum(now));
+            const double rej =
+                static_cast<double>(rejected->sum(now));
+            return adm + rej > 0.0 ? rej / (adm + rej) : 0.0;
+        });
+}
+
 InferenceEngine::~InferenceEngine()
 {
     shutdown();
@@ -76,8 +171,11 @@ std::future<Tensor>
 InferenceEngine::submit(Tensor input)
 {
     Request req;
+    req.id = nextRequestId_.fetch_add(1, std::memory_order_relaxed);
     req.input = std::move(input);
     req.enqueued = std::chrono::steady_clock::now();
+    if (tracer_)
+        req.traceEnqueueNs = tracer_->nowNs();
     std::future<Tensor> future = req.promise.get_future();
 
     RejectReason reason{};
@@ -97,21 +195,20 @@ InferenceEngine::submit(Tensor input)
     }
 
     if (rejected) {
-        rejected_.fetch_add(1, std::memory_order_relaxed);
+        rejectedCtr_[static_cast<size_t>(reason)]->add(1);
+        rejectedWindow_->add(1, registry_->nowNs());
         bumpCounter(obs::counter_names::serveRejected);
         req.promise.set_exception(
             std::make_exception_ptr(RejectedError(reason)));
         return future;
     }
 
-    submitted_.fetch_add(1, std::memory_order_relaxed);
+    submittedCtr_->add(1);
+    admittedWindow_->add(1, registry_->nowNs());
     bumpCounter(obs::counter_names::serveSubmitted);
-    const size_t depth = queue_.size();
-    size_t peak = queuePeak_.load(std::memory_order_relaxed);
-    while (depth > peak &&
-           !queuePeak_.compare_exchange_weak(
-               peak, depth, std::memory_order_relaxed)) {
-    }
+    const size_t depth = queue_.approxSize();
+    queueDepthGauge_->set(static_cast<double>(depth));
+    queuePeakGauge_->maxOf(static_cast<double>(depth));
     return future;
 }
 
@@ -155,19 +252,34 @@ EngineStats
 InferenceEngine::stats() const
 {
     EngineStats s;
-    s.submitted = submitted_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.rejected = rejected_.load(std::memory_order_relaxed);
-    s.batches = batches_.load(std::memory_order_relaxed);
-    s.queuePeak = queuePeak_.load(std::memory_order_relaxed);
+    s.submitted = submittedCtr_->value();
+    s.completed = completedCtr_->value();
+    for (const obs::ShardedCounter *ctr : rejectedCtr_)
+        s.rejected += ctr->value();
+    s.batches = batchesCtr_->value();
+    s.queuePeak = static_cast<size_t>(queuePeakGauge_->value());
+    s.queueDepth = queue_.approxSize();
     s.batchHistogram = batchHist_.counts();
-    {
-        std::lock_guard<std::mutex> lock(latencyMutex_);
-        s.latency = obs::LatencyStats::from(latencySample_.samples());
-        // Percentiles come from the bounded reservoir; the count must
-        // still be the true completed total.
-        s.latency.count = latencySample_.count();
+
+    // Merge the per-worker reservoirs into one sample of the combined
+    // completion stream. The merge sampler's seed is fixed, so the
+    // same completion history yields the same percentiles.
+    obs::ReservoirSampler merged(
+        std::max<size_t>(config_.latencyReservoir, 1));
+    for (const auto &ws : workerSamples_) {
+        std::lock_guard<std::mutex> lock(ws->mutex);
+        merged.merge(ws->sampler);
     }
+    s.latency = obs::LatencyStats::from(merged.samples());
+    // Percentiles come from the bounded reservoirs; the count must
+    // still be the true completed total.
+    s.latency.count = merged.count();
+
+    const uint64_t now = registry_->nowNs();
+    s.latencyWindow = latencyWindow_->stats(now);
+    const double adm = static_cast<double>(admittedWindow_->sum(now));
+    const double rej = static_cast<double>(rejectedWindow_->sum(now));
+    s.shedRatioWindow = adm + rej > 0.0 ? rej / (adm + rej) : 0.0;
     return s;
 }
 
@@ -181,6 +293,13 @@ InferenceEngine::workerLoop(size_t workerId)
     ctx.metrics = metrics_;
     ctx.tracer = tracer_;
 
+    // Registered once per worker at spawn (allocates); the per-batch
+    // updates below are plain atomic stores.
+    obs::Gauge &arenaGauge = registry_->gauge(
+        "dlis_serve_arena_bytes",
+        "Scratch-arena capacity per worker context",
+        {{"worker", std::to_string(workerId)}});
+
     for (;;) {
         std::vector<Request> batch;
         {
@@ -189,6 +308,8 @@ InferenceEngine::workerLoop(size_t workerId)
                 return; // closed and drained
             batch.push_back(std::move(*first));
         }
+        if (tracer_)
+            batch.back().tracePopNs = tracer_->nowNs();
         const auto deadline =
             batch.front().enqueued +
             std::chrono::microseconds(config_.maxDelayUs);
@@ -208,8 +329,14 @@ InferenceEngine::workerLoop(size_t workerId)
             if (!next)
                 break; // linger expired, or closed and drained
             batch.push_back(std::move(*next));
+            if (tracer_)
+                batch.back().tracePopNs = tracer_->nowNs();
         }
+        queueDepthGauge_->set(
+            static_cast<double>(queue_.approxSize()));
         runBatch(batch, ctx, workerId);
+        arenaGauge.set(
+            static_cast<double>(ctx.arena->capacityBytes()));
     }
 }
 
@@ -220,6 +347,23 @@ InferenceEngine::runBatch(std::vector<Request> &batch, ExecContext &ctx,
     const size_t k = batch.size();
     const size_t perImage = requestShape_.numel();
 
+    // The batch is sealed: close out the per-request queue_wait and
+    // batch_assembly spans. Each span carries the request's id, so one
+    // request's enqueue -> pop -> seal -> forward -> reply renders as
+    // a connected trace in the Chrome export.
+    const uint64_t sealNs = tracer_ ? tracer_->nowNs() : 0;
+    if (tracer_) {
+        for (const Request &req : batch) {
+            tracer_->record("queue_wait", "request",
+                            req.traceEnqueueNs,
+                            req.tracePopNs - req.traceEnqueueNs,
+                            req.id);
+            tracer_->record("batch_assembly", "request",
+                            req.tracePopNs, sealNs - req.tracePopNs,
+                            req.id);
+        }
+    }
+
     std::vector<size_t> inDims = requestShape_.dims();
     inDims[0] = k;
     Tensor input((Shape(inDims)));
@@ -227,15 +371,28 @@ InferenceEngine::runBatch(std::vector<Request> &batch, ExecContext &ctx,
         std::memcpy(input.data() + i * perImage,
                     batch[i].input.data(), perImage * sizeof(float));
 
+    // Layer/kernel spans under this forward join the trace of the
+    // batch's lead request (one forward serves the whole batch).
+    ctx.traceFlowId = batch.front().id;
+
     try {
         Tensor output;
+        const uint64_t forwardStartNs =
+            tracer_ ? tracer_->nowNs() : 0;
         {
             obs::TraceSpan span(tracer_,
                                 "serve.worker" +
                                     std::to_string(workerId) +
                                     ".batch" + std::to_string(k),
-                                "serve");
+                                "serve", batch.front().id);
             output = stack_.model().net.forward(input, ctx);
+        }
+        if (tracer_) {
+            const uint64_t forwardEndNs = tracer_->nowNs();
+            for (const Request &req : batch)
+                tracer_->record("forward", "request", forwardStartNs,
+                                forwardEndNs - forwardStartNs,
+                                req.id);
         }
         DLIS_ASSERT(output.shape().rank() >= 1 &&
                         output.shape()[0] == k,
@@ -258,25 +415,40 @@ InferenceEngine::runBatch(std::vector<Request> &batch, ExecContext &ctx,
         // that observes its future ready must also observe this batch
         // in stats().
         const auto done = std::chrono::steady_clock::now();
+        const uint64_t nowNs = registry_->nowNs();
         {
-            std::lock_guard<std::mutex> lock(latencyMutex_);
-            for (const Request &req : batch)
-                latencySample_.add(
+            WorkerSample &ws = *workerSamples_[workerId];
+            std::lock_guard<std::mutex> lock(ws.mutex);
+            for (const Request &req : batch) {
+                const double seconds =
                     std::chrono::duration<double>(done - req.enqueued)
-                        .count());
+                        .count();
+                ws.sampler.add(seconds);
+                latencyHist_->record(seconds);
+                latencyWindow_->record(seconds, nowNs);
+            }
         }
-        completed_.fetch_add(k, std::memory_order_relaxed);
+        completedCtr_->add(k);
         bumpCounter(obs::counter_names::serveCompleted, k);
-        batches_.fetch_add(1, std::memory_order_relaxed);
+        batchesCtr_->add(1);
         bumpCounter(obs::counter_names::serveBatches);
         batchHist_.record(k);
+        batchSizeHist_->record(static_cast<double>(k));
 
+        const uint64_t replyStartNs = tracer_ ? tracer_->nowNs() : 0;
         for (size_t i = 0; i < k; ++i)
             batch[i].promise.set_value(std::move(rows[i]));
+        if (tracer_) {
+            const uint64_t replyEndNs = tracer_->nowNs();
+            for (const Request &req : batch)
+                tracer_->record("reply", "request", replyStartNs,
+                                replyEndNs - replyStartNs, req.id);
+        }
     } catch (...) {
-        batches_.fetch_add(1, std::memory_order_relaxed);
+        batchesCtr_->add(1);
         bumpCounter(obs::counter_names::serveBatches);
         batchHist_.record(k);
+        batchSizeHist_->record(static_cast<double>(k));
         const auto error = std::current_exception();
         for (auto &req : batch)
             req.promise.set_exception(error);

@@ -35,7 +35,9 @@
 #ifndef DLIS_SERVE_ENGINE_HPP
 #define DLIS_SERVE_ENGINE_HPP
 
+#include <array>
 #include <future>
+#include <memory>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -43,6 +45,7 @@
 #include "core/tensor.hpp"
 #include "nn/exec_context.hpp"
 #include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 #include "obs/stats.hpp"
 #include "serve/request_queue.hpp"
 
@@ -109,6 +112,14 @@ struct ServeConfig
      * backpressure and shutdown-with-queued-work scenarios.
      */
     bool startPaused = false;
+
+    /** @name Rolling-window geometry of the live telemetry.
+     * Defaults give "over the last 10 seconds" readings; tests shrink
+     * the buckets so windows expire quickly and deterministically. */
+    /** @{ */
+    size_t windowBuckets = 10;
+    double windowBucketSeconds = 1.0;
+    /** @} */
 };
 
 /** Point-in-time engine statistics. */
@@ -123,10 +134,16 @@ struct EngineStats
     std::vector<uint64_t> batchHistogram;
     /**
      * Enqueue-to-reply latency over completed requests (seconds).
-     * Percentiles are computed over the engine's bounded reservoir
-     * sample; count is the true number of completed requests.
+     * Percentiles are computed over the engine's per-worker bounded
+     * reservoirs, merged at snapshot time; count is the true number
+     * of completed requests.
      */
     obs::LatencyStats latency;
+    size_t queueDepth = 0; //!< current queue depth (approximate)
+    /** Enqueue-to-reply latency over the trailing rolling window. */
+    obs::WindowStats latencyWindow;
+    /** rejected / (admitted + rejected) over the rolling window. */
+    double shedRatioWindow = 0.0;
 };
 
 /**
@@ -145,6 +162,11 @@ class InferenceEngine
      * @param metrics optional registry receiving "serve.*" counters
      *                (not owned; must be thread-safe for the pool)
      * @param tracer  optional span tracer observing worker forwards
+     * @param registry optional serving-telemetry registry (not
+     *                owned; it must then outlive the engine). Null
+     *                makes the engine own a private registry —
+     *                telemetry is always on; telemetry() exposes it
+     *                for scraping either way.
      *
      * The constructor pre-flights the deployment: the model is run
      * through the static verifier (analysis::verifyNetwork) against
@@ -156,7 +178,8 @@ class InferenceEngine
      */
     InferenceEngine(InferenceStack &stack, ServeConfig config,
                     obs::Metrics *metrics = nullptr,
-                    obs::Tracer *tracer = nullptr);
+                    obs::Tracer *tracer = nullptr,
+                    obs::MetricsRegistry *registry = nullptr);
 
     /** Graceful shutdown (drains admitted work). */
     ~InferenceEngine();
@@ -185,6 +208,14 @@ class InferenceEngine
     /** Statistics snapshot (callable at any time, any thread). */
     EngineStats stats() const;
 
+    /**
+     * The serving-telemetry registry (owned unless one was injected):
+     * every dlis_serve_* family lives here; hand it to a
+     * TelemetryServer to scrape, or an SloWatchdog to evaluate.
+     */
+    obs::MetricsRegistry &telemetry() { return *registry_; }
+    const obs::MetricsRegistry &telemetry() const { return *registry_; }
+
     /** The engine's configuration. */
     const ServeConfig &config() const { return config_; }
 
@@ -194,11 +225,25 @@ class InferenceEngine
   private:
     struct Request
     {
+        uint64_t id = 0; //!< RequestId minted at submit (trace flow)
         Tensor input;
         std::promise<Tensor> promise;
         std::chrono::steady_clock::time_point enqueued;
+        uint64_t traceEnqueueNs = 0; //!< tracer clock at submit
+        uint64_t tracePopNs = 0;     //!< tracer clock when popped
     };
 
+    /** One worker's latency reservoir (merged at stats() time). */
+    struct WorkerSample
+    {
+        WorkerSample(size_t capacity, uint64_t seed)
+            : sampler(capacity, seed)
+        {}
+        std::mutex mutex;
+        obs::ReservoirSampler sampler;
+    };
+
+    void registerInstruments();
     void workerLoop(size_t workerId);
     void runBatch(std::vector<Request> &batch, ExecContext &ctx,
                   size_t workerId);
@@ -208,6 +253,8 @@ class InferenceEngine
     const ServeConfig config_;
     obs::Metrics *metrics_;
     obs::Tracer *tracer_;
+    std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;
+    obs::MetricsRegistry *registry_; //!< never null
 
     Shape requestShape_; //!< required [1, C, H, W] input shape
 
@@ -216,17 +263,32 @@ class InferenceEngine
     std::mutex lifecycleMutex_; //!< guards pool_ start/join
     bool started_ = false;
     bool shutdown_ = false;
-    std::atomic<bool> accepting_{true};
+    /** Admission flag read outside the queue mutex — engine lifecycle
+     *  state, not a metric. dlis-lint: allow(serve-atomic) */
+    std::atomic<bool> accepting_{true}; // dlis-lint: allow(serve-atomic)
+    /** RequestId mint (trace identity, not a counter metric).
+     *  dlis-lint: allow(serve-atomic) */
+    std::atomic<uint64_t> nextRequestId_{1}; // dlis-lint: allow(serve-atomic)
 
-    // Engine-local stats (metrics_ mirrors the monotonic ones).
-    std::atomic<uint64_t> submitted_{0};
-    std::atomic<uint64_t> completed_{0};
-    std::atomic<uint64_t> rejected_{0};
-    std::atomic<uint64_t> batches_{0};
-    std::atomic<size_t> queuePeak_{0};
+    /** @name Registry instrument handles (resolved once in the ctor;
+     * the request hot path publishes through them lock-free). */
+    /** @{ */
+    obs::ShardedCounter *submittedCtr_ = nullptr;
+    obs::ShardedCounter *completedCtr_ = nullptr;
+    obs::ShardedCounter *batchesCtr_ = nullptr;
+    /** Indexed by RejectReason (QueueFull, ShutDown, BadShape). */
+    std::array<obs::ShardedCounter *, 3> rejectedCtr_{};
+    obs::Gauge *queueDepthGauge_ = nullptr;
+    obs::Gauge *queuePeakGauge_ = nullptr;
+    obs::Histogram *latencyHist_ = nullptr;
+    obs::Histogram *batchSizeHist_ = nullptr;
+    obs::RollingHistogram *latencyWindow_ = nullptr;
+    obs::RollingCounter *admittedWindow_ = nullptr;
+    obs::RollingCounter *rejectedWindow_ = nullptr;
+    /** @} */
+
     obs::BucketHistogram batchHist_;
-    mutable std::mutex latencyMutex_;
-    obs::ReservoirSampler latencySample_; //!< guarded by latencyMutex_
+    std::vector<std::unique_ptr<WorkerSample>> workerSamples_;
 };
 
 } // namespace serve

@@ -18,6 +18,7 @@
 #ifndef DLIS_SERVE_REQUEST_QUEUE_HPP
 #define DLIS_SERVE_REQUEST_QUEUE_HPP
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -46,6 +47,7 @@ class BoundedQueue
             if (closed_ || items_.size() >= capacity_)
                 return false;
             items_.push_back(std::move(item));
+            count_.store(items_.size(), std::memory_order_relaxed);
         }
         notEmpty_.notify_one();
         return true;
@@ -114,6 +116,17 @@ class BoundedQueue
         return items_.size();
     }
 
+    /**
+     * Queue depth without taking the mutex — may lag a concurrent
+     * push/pop by one. The telemetry queue-depth gauge reads this so
+     * scrapes never contend with admission or the batchers.
+     */
+    size_t
+    approxSize() const noexcept
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
     /** True once close() has been called. */
     bool
     closed() const
@@ -131,6 +144,7 @@ class BoundedQueue
             return std::nullopt;
         std::optional<T> item(std::move(items_.front()));
         items_.pop_front();
+        count_.store(items_.size(), std::memory_order_relaxed);
         return item;
     }
 
@@ -139,6 +153,10 @@ class BoundedQueue
     std::condition_variable notEmpty_;
     std::deque<T> items_;
     bool closed_ = false;
+    /** Mirror of items_.size() for lock-free approxSize() reads —
+     *  MPMC queue internal, not a serving metric.
+     *  dlis-lint: allow(serve-atomic) */
+    std::atomic<size_t> count_{0}; // dlis-lint: allow(serve-atomic)
 };
 
 } // namespace dlis::serve

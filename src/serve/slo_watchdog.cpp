@@ -1,0 +1,127 @@
+#include "serve/slo_watchdog.hpp"
+
+#include <chrono>
+
+#include "core/error.hpp"
+#include "core/logging.hpp"
+#include "obs/registry.hpp"
+#include "serve/engine.hpp"
+
+namespace dlis::serve {
+
+SloWatchdog::SloWatchdog(InferenceEngine &engine, SloConfig config)
+    : engine_(engine), config_(config)
+{
+    DLIS_CHECK(config_.p99TargetSeconds >= 0.0,
+               "p99 target must be >= 0");
+    DLIS_CHECK(config_.maxShedRatio >= 0.0 &&
+                   config_.maxShedRatio <= 1.0,
+               "maxShedRatio must be in [0,1]");
+    DLIS_CHECK(config_.evalPeriodSeconds > 0.0,
+               "evalPeriodSeconds must be positive");
+    // Publish the gauge (and targets, for dashboard context) at 0
+    // immediately: a scrape taken before the first evaluation must
+    // see "SLO defined, not breached", not an absent family.
+    obs::MetricsRegistry &reg = engine_.telemetry();
+    reg.gauge("dlis_slo_breach",
+              "1 while the declared SLO is breached, else 0")
+        .set(0.0);
+    reg.gauge("dlis_slo_p99_target_seconds",
+              "Declared windowed-p99 ceiling (0 = not enforced)")
+        .set(config_.p99TargetSeconds);
+    reg.gauge("dlis_slo_max_shed_ratio",
+              "Declared windowed shed-ratio ceiling (1 = not enforced)")
+        .set(config_.maxShedRatio);
+}
+
+SloWatchdog::~SloWatchdog()
+{
+    stop();
+}
+
+bool
+SloWatchdog::evaluateNow()
+{
+    const EngineStats stats = engine_.stats();
+
+    bool p99Breached = false;
+    if (config_.p99TargetSeconds > 0.0 &&
+        stats.latencyWindow.count >= config_.minWindowRequests)
+        p99Breached =
+            stats.latencyWindow.p99 > config_.p99TargetSeconds;
+
+    const bool shedBreached =
+        config_.maxShedRatio < 1.0 &&
+        stats.shedRatioWindow > config_.maxShedRatio;
+
+    const bool now = p99Breached || shedBreached;
+    const bool before = breached_.exchange(now);
+    engine_.telemetry()
+        .gauge("dlis_slo_breach",
+               "1 while the declared SLO is breached, else 0")
+        .set(now ? 1.0 : 0.0);
+
+    if (now != before) {
+        transitions_.fetch_add(1, std::memory_order_relaxed);
+        if (now)
+            warn("slo: event=breach p99_s=", stats.latencyWindow.p99,
+                 " target_p99_s=", config_.p99TargetSeconds,
+                 " shed_ratio=", stats.shedRatioWindow,
+                 " max_shed_ratio=", config_.maxShedRatio,
+                 " window_requests=", stats.latencyWindow.count,
+                 " clause=",
+                 p99Breached ? (shedBreached ? "p99+shed" : "p99")
+                             : "shed");
+        else
+            inform("slo: event=recovery p99_s=",
+                   stats.latencyWindow.p99,
+                   " shed_ratio=", stats.shedRatioWindow,
+                   " window_requests=", stats.latencyWindow.count);
+    }
+    return now;
+}
+
+bool
+SloWatchdog::breached() const
+{
+    return breached_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+SloWatchdog::transitions() const
+{
+    return transitions_.load(std::memory_order_relaxed);
+}
+
+void
+SloWatchdog::start()
+{
+    if (thread_.joinable())
+        return;
+    stopping_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] {
+        const auto period = std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.evalPeriodSeconds));
+        std::unique_lock<std::mutex> lock(wakeMutex_);
+        while (!stopping_.load(std::memory_order_acquire)) {
+            lock.unlock();
+            evaluateNow();
+            lock.lock();
+            wakeCv_.wait_for(lock, period, [this] {
+                return stopping_.load(std::memory_order_acquire);
+            });
+        }
+    });
+}
+
+void
+SloWatchdog::stop()
+{
+    stopping_.store(true, std::memory_order_release);
+    wakeCv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+} // namespace dlis::serve

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Declarative SLO evaluation over the engine's rolling windows.
+ *
+ * An SloWatchdog owns a small declarative objective — "windowed p99
+ * under X seconds, windowed shed rate under Y" — and evaluates it
+ * against InferenceEngine::stats()'s rolling-window readings. Breach
+ * state is published as the dlis_slo_breach gauge (1 = breached) in
+ * the engine's telemetry registry, so a dashboard alerting off
+ * /metrics needs no extra plumbing, and every breach/recovery
+ * transition emits one structured log line:
+ *
+ *   slo: event=breach p99_s=0.01840 target_p99_s=0.00500 ...
+ *
+ * Evaluation is pull-based: evaluateNow() is cheap (one stats()
+ * snapshot) and deterministic, which is what the tests drive;
+ * start() adds an optional background thread for deployments that
+ * want the gauge refreshed without a scraper in the loop. Because the
+ * inputs are rolling windows, recovery is automatic — once the bad
+ * traffic ages out of the window, the next evaluation clears the
+ * breach.
+ */
+
+#ifndef DLIS_SERVE_SLO_WATCHDOG_HPP
+#define DLIS_SERVE_SLO_WATCHDOG_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace dlis::serve {
+
+class InferenceEngine;
+
+/** Declarative objective the watchdog holds the engine to. */
+struct SloConfig
+{
+    /** Windowed p99 latency ceiling, seconds (0 = not enforced). */
+    double p99TargetSeconds = 0.0;
+    /** Windowed shed-ratio ceiling in [0,1] (1 = not enforced). */
+    double maxShedRatio = 1.0;
+    /**
+     * Minimum completed-requests count inside the window before the
+     * p99 clause is judged — a single slow warm-up request must not
+     * page anyone. The shed clause is exempt: rejects are meaningful
+     * from the first one.
+     */
+    uint64_t minWindowRequests = 1;
+    /** Background evaluation period for start(), seconds. */
+    double evalPeriodSeconds = 1.0;
+};
+
+/** Watches one engine's rolling windows; see file comment. */
+class SloWatchdog
+{
+  public:
+    /** @p engine must outlive the watchdog. */
+    SloWatchdog(InferenceEngine &engine, SloConfig config);
+
+    /** Stops the background thread if running. */
+    ~SloWatchdog();
+
+    SloWatchdog(const SloWatchdog &) = delete;
+    SloWatchdog &operator=(const SloWatchdog &) = delete;
+
+    /**
+     * Evaluate the SLO against the current rolling windows, publish
+     * the breach gauge, log on transition. @return breached now.
+     */
+    bool evaluateNow();
+
+    /** Breach state as of the last evaluation. */
+    bool breached() const;
+
+    /** Breach/recovery transitions observed so far. */
+    uint64_t transitions() const;
+
+    /** Start periodic background evaluation (idempotent). */
+    void start();
+
+    /** Stop and join the background thread (idempotent). */
+    void stop();
+
+    const SloConfig &config() const { return config_; }
+
+  private:
+    InferenceEngine &engine_;
+    const SloConfig config_;
+
+    /** Watchdog state, published cross-thread; the breach *metric* is
+     *  the dlis_slo_breach gauge in the registry.
+     *  dlis-lint: allow(serve-atomic) */
+    std::atomic<bool> breached_{false}; // dlis-lint: allow(serve-atomic)
+    std::atomic<uint64_t> transitions_{0}; // dlis-lint: allow(serve-atomic)
+    std::atomic<bool> stopping_{false}; // dlis-lint: allow(serve-atomic)
+
+    std::thread thread_;
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+};
+
+} // namespace dlis::serve
+
+#endif // DLIS_SERVE_SLO_WATCHDOG_HPP

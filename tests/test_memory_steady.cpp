@@ -16,11 +16,15 @@
 #include <string>
 #include <vector>
 
+#include <future>
+
 #include "backend/gemmlib/tuned_gemm.hpp"
 #include "backend/oclsim/ndrange.hpp"
 #include "core/memory_tracker.hpp"
 #include "nn/models/model.hpp"
 #include "obs/metrics.hpp"
+#include "serve/engine.hpp"
+#include "stack/inference_stack.hpp"
 #include "test_helpers.hpp"
 
 namespace dlis {
@@ -143,6 +147,51 @@ TEST(MemorySteadyState, ArenaCountersReportZeroGrowthWhenWarm)
     EXPECT_EQ(grownSteady, grownWarm)
         << "steady-state forward grew the arena";
     EXPECT_EQ(rewindsSteady, 2 * rewindsWarm);
+}
+
+TEST(MemorySteadyState, ServingWithTelemetryKeepsScratchWarm)
+{
+    // The serving engine now publishes every request into its
+    // MetricsRegistry (counters, windows, histograms). That hot path
+    // must not disturb the arena steady state: after a warmup burst,
+    // further served requests leave MemClass::Scratch exactly flat,
+    // with the telemetry instruments live the whole time.
+    StackConfig config;
+    config.modelName = "mobilenet";
+    config.widthMult = 0.25;
+    InferenceStack stack(config);
+
+    serve::ServeConfig serveConfig;
+    serveConfig.workers = 1; // one worker = one arena to keep warm
+    serveConfig.maxBatch = 4;
+    serve::InferenceEngine engine(stack, serveConfig);
+
+    auto serveOne = [&](uint64_t seed) {
+        std::future<Tensor> f = engine.submit(
+            test::randomTensor(stack.inputShape(1), seed));
+        (void)f.get(); // synchronous: every batch has size 1
+    };
+
+    auto &tracker = MemoryTracker::instance();
+    for (uint64_t i = 0; i < 4; ++i)
+        serveOne(100 + i); // warm the worker's arena
+
+    const size_t warmed = tracker.currentBytes(MemClass::Scratch);
+    tracker.resetPeaks();
+    for (uint64_t i = 0; i < 8; ++i)
+        serveOne(200 + i);
+
+    EXPECT_EQ(tracker.currentBytes(MemClass::Scratch), warmed)
+        << "served forwards changed net scratch bytes";
+    EXPECT_EQ(tracker.peakBytes(MemClass::Scratch), warmed)
+        << "served forwards transiently allocated scratch";
+
+    // The instruments really were live: the scrape sees the traffic.
+    const std::string text = engine.telemetry().renderPrometheus();
+    EXPECT_NE(text.find("dlis_serve_requests_completed_total 12"),
+              std::string::npos)
+        << text;
+    engine.shutdown();
 }
 
 } // namespace

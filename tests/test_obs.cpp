@@ -23,131 +23,13 @@
 #include "obs/trace.hpp"
 #include "stack/inference_stack.hpp"
 #include "stack/report.hpp"
+#include "test_helpers.hpp"
 
 using namespace dlis;
 
 namespace {
 
-/**
- * Minimal JSON validity checker (objects, arrays, strings, numbers,
- * literals) — enough to prove the emitted traces/reports parse.
- */
-class JsonChecker
-{
-  public:
-    explicit JsonChecker(std::string_view text) : text_(text) {}
-
-    bool
-    valid()
-    {
-        pos_ = 0;
-        if (!value())
-            return false;
-        skipWs();
-        return pos_ == text_.size();
-    }
-
-  private:
-    void
-    skipWs()
-    {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
-    }
-
-    bool
-    consume(char c)
-    {
-        skipWs();
-        if (pos_ < text_.size() && text_[pos_] == c) {
-            ++pos_;
-            return true;
-        }
-        return false;
-    }
-
-    bool
-    literal(std::string_view word)
-    {
-        if (text_.substr(pos_, word.size()) != word)
-            return false;
-        pos_ += word.size();
-        return true;
-    }
-
-    bool
-    string()
-    {
-        if (!consume('"'))
-            return false;
-        while (pos_ < text_.size() && text_[pos_] != '"') {
-            if (text_[pos_] == '\\') {
-                ++pos_;
-                if (pos_ >= text_.size())
-                    return false;
-            }
-            ++pos_;
-        }
-        return consume('"');
-    }
-
-    bool
-    number()
-    {
-        const size_t start = pos_;
-        if (pos_ < text_.size() && text_[pos_] == '-')
-            ++pos_;
-        while (pos_ < text_.size() &&
-               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-                text_[pos_] == '.' || text_[pos_] == 'e' ||
-                text_[pos_] == 'E' || text_[pos_] == '+' ||
-                text_[pos_] == '-'))
-            ++pos_;
-        return pos_ > start;
-    }
-
-    bool
-    value()
-    {
-        skipWs();
-        if (pos_ >= text_.size())
-            return false;
-        const char c = text_[pos_];
-        if (c == '{') {
-            ++pos_;
-            if (consume('}'))
-                return true;
-            do {
-                if (!string() || !consume(':') || !value())
-                    return false;
-            } while (consume(','));
-            return consume('}');
-        }
-        if (c == '[') {
-            ++pos_;
-            if (consume(']'))
-                return true;
-            do {
-                if (!value())
-                    return false;
-            } while (consume(','));
-            return consume(']');
-        }
-        if (c == '"')
-            return string();
-        if (c == 't')
-            return literal("true");
-        if (c == 'f')
-            return literal("false");
-        if (c == 'n')
-            return literal("null");
-        return number();
-    }
-
-    std::string_view text_;
-    size_t pos_ = 0;
-};
+using test::JsonChecker;
 
 Tensor
 randomTensor(Shape shape, uint64_t seed)
@@ -305,6 +187,26 @@ TEST(Stats, PercentileInterpolatesBetweenRanks)
     EXPECT_EQ(obs::percentile({}, 50.0), 0.0);
 }
 
+TEST(Stats, PercentileExactAtTinySampleCounts)
+{
+    // Pin the small-n behaviour exactly: percentiles at n=1..3 must
+    // interpolate over ranks, never collapse to the max. (Regression
+    // guard for a reported p50-returns-max symptom at n < 4; the
+    // current interpolation is correct and must stay so.)
+    EXPECT_DOUBLE_EQ(obs::percentile({5.0}, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({5.0}, 99.0), 5.0);
+
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 3.0}, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 3.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 3.0}, 100.0), 3.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 3.0}, 90.0), 2.8);
+
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 2.0, 10.0}, 50.0), 2.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 2.0, 10.0}, 25.0), 1.5);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 2.0, 10.0}, 75.0), 6.0);
+    EXPECT_DOUBLE_EQ(obs::percentile({1.0, 2.0, 10.0}, 100.0), 10.0);
+}
+
 TEST(Stats, LatencyStatsFromSamples)
 {
     const auto s = obs::LatencyStats::from({0.003, 0.001, 0.002});
@@ -355,6 +257,84 @@ TEST(Stats, ReservoirIsDeterministicPerSeed)
     }
     EXPECT_EQ(a.samples(), b.samples());
     EXPECT_NE(a.samples(), c.samples());
+}
+
+TEST(Stats, ReservoirMergeCombinesStreams)
+{
+    // Two per-worker reservoirs over disjoint value ranges; the merge
+    // must count both streams and retain values from both in rough
+    // proportion to their observation counts.
+    obs::ReservoirSampler a(32, 1), b(32, 2);
+    for (int i = 0; i < 600; ++i)
+        a.add(0.0 + i % 10); // values 0..9, 600 observations
+    for (int i = 0; i < 200; ++i)
+        b.add(100.0 + i % 10); // values 100..109, 200 observations
+
+    obs::ReservoirSampler merged(32, 9);
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.count(), 800u);
+    EXPECT_EQ(merged.samples().size(), 32u);
+
+    size_t fromA = 0, fromB = 0;
+    for (double v : merged.samples())
+        (v < 50.0 ? fromA : fromB) += 1;
+    // Stream A is 75% of the combined observations: its share of the
+    // merged sample must dominate (loose deterministic bound).
+    EXPECT_GT(fromA, fromB);
+    EXPECT_GT(fromB, 0u);
+}
+
+TEST(Stats, ReservoirMergeEmptyAndIntoEmpty)
+{
+    obs::ReservoirSampler empty(8, 3);
+    obs::ReservoirSampler some(8, 4);
+    for (int i = 0; i < 5; ++i)
+        some.add(static_cast<double>(i));
+
+    obs::ReservoirSampler target(8, 5);
+    target.merge(empty);
+    EXPECT_EQ(target.count(), 0u);
+    target.merge(some);
+    EXPECT_EQ(target.count(), 5u);
+    EXPECT_EQ(target.samples(), some.samples());
+    target.merge(empty);
+    EXPECT_EQ(target.count(), 5u);
+}
+
+TEST(Stats, ReservoirMergeOrderInvariantOnCountAndBounds)
+{
+    // Merging per-worker reservoirs in either order must agree on the
+    // combined count exactly and keep every percentile inside the
+    // combined observed range — the properties scrape-time merging
+    // relies on (the retained subset itself may differ by order).
+    obs::ReservoirSampler w0(16, 10), w1(16, 11), w2(16, 12);
+    for (int i = 0; i < 300; ++i)
+        w0.add(1.0 + (i % 7) * 0.25);
+    for (int i = 0; i < 150; ++i)
+        w1.add(10.0 + (i % 5) * 0.5);
+    for (int i = 0; i < 75; ++i)
+        w2.add(20.0 + (i % 3));
+
+    auto mergeAll = [](std::vector<const obs::ReservoirSampler *> rs) {
+        obs::ReservoirSampler out(16, 42);
+        for (const obs::ReservoirSampler *r : rs)
+            out.merge(*r);
+        return out;
+    };
+    const auto ab = mergeAll({&w0, &w1, &w2});
+    const auto ba = mergeAll({&w2, &w1, &w0});
+    EXPECT_EQ(ab.count(), 525u);
+    EXPECT_EQ(ba.count(), 525u);
+    for (const auto *m : {&ab, &ba}) {
+        const auto st = obs::LatencyStats::from(m->samples());
+        EXPECT_GE(st.min, 1.0);
+        EXPECT_LE(st.max, 22.0);
+        EXPECT_GE(st.p99, st.p50);
+    }
+    // Same merge order + same seeds = identical retained sample.
+    const auto again = mergeAll({&w0, &w1, &w2});
+    EXPECT_EQ(ab.samples(), again.samples());
 }
 
 TEST(RunReport, DisabledObservabilityIsBitIdentical)

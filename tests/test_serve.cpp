@@ -10,11 +10,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "serve/engine.hpp"
+#include "serve/slo_watchdog.hpp"
 #include "stack/inference_stack.hpp"
 #include "test_helpers.hpp"
 
@@ -270,6 +274,121 @@ TEST(Serve, LatencyCountSurvivesBoundedReservoir)
     EXPECT_EQ(stats.latency.count, kTotal);
     EXPECT_GT(stats.latency.p50, 0.0);
     EXPECT_LE(stats.latency.p50, stats.latency.max);
+}
+
+TEST(Serve, TracePropagatesRequestIdAcrossSpans)
+{
+    InferenceStack stack = makeStack();
+    obs::Tracer tracer;
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.maxBatch = 4;
+    config.maxDelayUs = 500;
+    config.queueCapacity = 16;
+    serve::InferenceEngine engine(stack, config, nullptr, &tracer);
+
+    constexpr size_t kTotal = 6;
+    std::vector<std::future<Tensor>> futures;
+    for (size_t id = 0; id < kTotal; ++id)
+        futures.push_back(
+            engine.submit(payload(stack.inputShape(1), id)));
+    for (std::future<Tensor> &f : futures)
+        EXPECT_NO_THROW((void)f.get());
+    engine.shutdown();
+
+    // Every replied request must have a complete, connected trace:
+    // queue_wait -> batch_assembly -> forward -> reply, all tagged
+    // with the same RequestId.
+    std::map<uint64_t, std::map<std::string, obs::TraceEvent>> byId;
+    for (const obs::TraceEvent &ev : tracer.events())
+        if (ev.category == "request")
+            byId[ev.flowId][ev.name] = ev;
+    ASSERT_EQ(byId.size(), kTotal);
+
+    for (const auto &[id, spans] : byId) {
+        EXPECT_NE(id, 0u);
+        ASSERT_TRUE(spans.count("queue_wait"));
+        ASSERT_TRUE(spans.count("batch_assembly"));
+        ASSERT_TRUE(spans.count("forward"));
+        ASSERT_TRUE(spans.count("reply"));
+        const obs::TraceEvent &wait = spans.at("queue_wait");
+        const obs::TraceEvent &assembly = spans.at("batch_assembly");
+        const obs::TraceEvent &forward = spans.at("forward");
+        const obs::TraceEvent &reply = spans.at("reply");
+
+        // Connected in time: each stage starts no earlier than the
+        // previous stage's start, and the whole chain is covered by
+        // the enqueue-to-reply interval.
+        EXPECT_LE(wait.startNs, assembly.startNs);
+        EXPECT_LE(assembly.startNs, forward.startNs);
+        EXPECT_LE(forward.startNs, reply.startNs);
+        const uint64_t replyEnd = reply.startNs + reply.durationNs;
+        ASSERT_GE(replyEnd, wait.startNs);
+        const uint64_t total = replyEnd - wait.startNs;
+        EXPECT_LE(wait.durationNs + forward.durationNs, total)
+            << "queue-wait + forward exceed enqueue-to-reply";
+    }
+
+    // The per-layer spans under a batch forward carry the lead
+    // request's id, so kernel-level work joins a request trace too.
+    bool layerSpanWithFlow = false;
+    for (const obs::TraceEvent &ev : tracer.events())
+        if (ev.category == "layer" && ev.flowId != 0)
+            layerSpanWithFlow = true;
+    EXPECT_TRUE(layerSpanWithFlow)
+        << "layer spans were not attributed to a request";
+}
+
+TEST(Serve, SloWatchdogFlipsUnderOverloadAndRecovers)
+{
+    InferenceStack stack = makeStack();
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.queueCapacity = 2;
+    config.startPaused = true; // force deterministic rejects
+    config.windowBuckets = 5;
+    config.windowBucketSeconds = 0.06; // 0.3 s rolling window
+    serve::InferenceEngine engine(stack, config);
+
+    serve::SloConfig slo;
+    slo.maxShedRatio = 0.2; // anything above 20% shed is a breach
+    serve::SloWatchdog watchdog(engine, slo);
+    EXPECT_FALSE(watchdog.evaluateNow());
+    EXPECT_NE(engine.telemetry().renderPrometheus().find(
+                  "dlis_slo_breach 0"),
+              std::string::npos);
+
+    // Overload: fill the queue, then shed the rest. 6 rejects against
+    // 2 admissions puts the windowed shed ratio at 0.75.
+    std::vector<std::future<Tensor>> admitted;
+    for (size_t id = 0; id < 2; ++id)
+        admitted.push_back(
+            engine.submit(payload(stack.inputShape(1), id)));
+    for (size_t id = 0; id < 6; ++id) {
+        std::future<Tensor> shed =
+            engine.submit(payload(stack.inputShape(1), 10 + id));
+        EXPECT_THROW((void)shed.get(), serve::RejectedError);
+    }
+
+    EXPECT_TRUE(watchdog.evaluateNow());
+    EXPECT_TRUE(watchdog.breached());
+    EXPECT_NE(engine.telemetry().renderPrometheus().find(
+                  "dlis_slo_breach 1"),
+              std::string::npos);
+
+    engine.resume();
+    for (std::future<Tensor> &f : admitted)
+        EXPECT_NO_THROW((void)f.get());
+
+    // Once the overload ages out of the rolling window, the next
+    // evaluation recovers on its own.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    EXPECT_FALSE(watchdog.evaluateNow());
+    EXPECT_FALSE(watchdog.breached());
+    EXPECT_EQ(watchdog.transitions(), 2u); // breach, then recovery
+    engine.shutdown();
 }
 
 TEST(Serve, RepeatedStartupShutdownCycles)

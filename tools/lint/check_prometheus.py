@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format 0.0.4.
+
+Reads metric text from a file argument (or ``-`` / no argument for
+stdin) and checks what a scraper would reject:
+
+  * ``# HELP`` / ``# TYPE`` line syntax, known types, and at most one
+    of each per family, TYPE before any sample of the family;
+  * sample line grammar: ``name{label="value",...} value`` with valid
+    metric/label identifiers and properly escaped label values;
+  * sample values parse as floats (``+Inf``/``-Inf``/``NaN`` allowed);
+  * histogram families: ``le`` buckets are cumulative (monotone
+    non-decreasing within one label set) and end with ``+Inf``, and
+    the ``+Inf`` bucket count equals ``_count``.
+
+Used by the CI telemetry smoke job on ``curl /metrics`` output, and
+handy interactively::
+
+    curl -s http://127.0.0.1:9464/metrics | python3 tools/lint/check_prometheus.py -
+
+Exits nonzero on the first structural violation class found, printing
+every offending line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# Label value with \\ \" \n escapes only.
+LABEL_VALUE = r'"(?:[^"\\\n]|\\["\\n])*"'
+LABEL_PAIR = rf"{LABEL_NAME}={LABEL_VALUE}"
+LABEL_BLOCK = rf"\{{{LABEL_PAIR}(?:,{LABEL_PAIR})*\}}"
+VALUE = r"(?:[+-]?Inf|NaN|[+-]?[0-9.eE+-]+)"
+
+HELP_RE = re.compile(rf"^# HELP ({METRIC_NAME}) .+$")
+TYPE_RE = re.compile(
+    rf"^# TYPE ({METRIC_NAME}) "
+    r"(counter|gauge|histogram|summary|untyped)$"
+)
+SAMPLE_RE = re.compile(
+    rf"^({METRIC_NAME})({LABEL_BLOCK})? ({VALUE})"
+    r"(?: [+-]?[0-9]+)?$"  # optional timestamp
+)
+LABEL_PAIR_RE = re.compile(rf"({LABEL_NAME})=({LABEL_VALUE})")
+
+
+def parse_labels(block: str | None) -> dict[str, str]:
+    if not block:
+        return {}
+    return {
+        k: v[1:-1] for k, v in LABEL_PAIR_RE.findall(block)
+    }
+
+
+def base_family(name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text: str) -> list[str]:
+    errors: list[str] = []
+    helped: set[str] = set()
+    typed: dict[str, str] = {}
+    sampled: set[str] = set()
+    # (family, frozen non-le labels) -> [(le, count)] in file order.
+    buckets: dict[tuple[str, frozenset], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, frozenset], float] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                m = HELP_RE.match(line)
+                if not m:
+                    errors.append(f"{lineno}: malformed HELP: {line}")
+                    continue
+                if m.group(1) in helped:
+                    errors.append(
+                        f"{lineno}: duplicate HELP for {m.group(1)}"
+                    )
+                helped.add(m.group(1))
+            elif line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    errors.append(f"{lineno}: malformed TYPE: {line}")
+                    continue
+                family = m.group(1)
+                if family in typed:
+                    errors.append(
+                        f"{lineno}: duplicate TYPE for {family}"
+                    )
+                if family in sampled:
+                    errors.append(
+                        f"{lineno}: TYPE after samples of {family}"
+                    )
+                typed[family] = m.group(2)
+            # Other comment lines are legal and ignored.
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"{lineno}: malformed sample: {line}")
+            continue
+        name, block, value = m.group(1), m.group(2), m.group(3)
+        sampled.add(base_family(name))
+        try:
+            num = float(value.replace("Inf", "inf").replace("NaN", "nan"))
+        except ValueError:
+            errors.append(f"{lineno}: bad sample value: {line}")
+            continue
+        labels = parse_labels(block)
+        family = base_family(name)
+        if typed.get(family) == "histogram":
+            series = frozenset(
+                (k, v) for k, v in labels.items() if k != "le"
+            )
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"{lineno}: histogram bucket without le: {line}"
+                    )
+                    continue
+                le_num = float(le.replace("Inf", "inf"))
+                buckets.setdefault((family, series), []).append(
+                    (le_num, num)
+                )
+            elif name.endswith("_count"):
+                counts[(family, series)] = num
+
+    for (family, series), entries in buckets.items():
+        les = [le for le, _ in entries]
+        vals = [v for _, v in entries]
+        if sorted(les) != les:
+            errors.append(f"{family}: le bounds not ascending: {les}")
+        if not les or les[-1] != float("inf"):
+            errors.append(f"{family}: missing +Inf bucket")
+        if sorted(vals) != vals:
+            errors.append(
+                f"{family}: bucket counts not cumulative: {vals}"
+            )
+        total = counts.get((family, series))
+        if total is not None and vals and vals[-1] != total:
+            errors.append(
+                f"{family}: +Inf bucket {vals[-1]} != _count {total}"
+            )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if argv and argv[0] not in ("-",):
+        with open(argv[0], encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = sys.stdin.read()
+    errors = check(text)
+    for e in errors:
+        print(e, file=sys.stderr)
+    lines = sum(1 for l in text.splitlines() if l.strip())
+    print(
+        f"check_prometheus: {lines} lines, {len(errors)} error(s)",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

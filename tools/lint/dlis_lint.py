@@ -20,6 +20,13 @@ expresses:
                    churn the ScratchArena removed — take the workspace
                    from KernelPolicy::arena instead (see
                    src/core/scratch_arena.hpp).
+  serve-atomic     No ``std::atomic`` definitions in src/serve/:
+                   serving metrics belong in the central
+                   obs::MetricsRegistry (src/obs/registry.hpp) so they
+                   are scrapeable and windowed, not scattered ad-hoc
+                   counters. Lifecycle flags (stop/accepting bits) may
+                   stay atomics with a justified same-line
+                   ``dlis-lint: allow(serve-atomic)``.
 
 Suppress a finding with a same-line comment::
 
@@ -49,6 +56,7 @@ RULE_EXEMPT = {
 # on the posix path, so relative and absolute invocations both work).
 RULE_ONLY = {
     "kernel-heap-alloc": ("src/backend/",),
+    "serve-atomic": ("src/serve/",),
 }
 
 RULES = [
@@ -87,6 +95,13 @@ RULES = [
         re.compile(r"std\s*::\s*vector\s*<\s*float\s*>"),
         "per-call heap workspace in a kernel; allocate from "
         "KernelPolicy::arena (core/scratch_arena.hpp)",
+    ),
+    (
+        "serve-atomic",
+        re.compile(r"std\s*::\s*atomic\s*<"),
+        "ad-hoc atomic in the serving layer; publish through "
+        "obs::MetricsRegistry (obs/registry.hpp), or justify a "
+        "lifecycle flag with allow(serve-atomic)",
     ),
 ]
 
