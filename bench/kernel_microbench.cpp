@@ -20,6 +20,8 @@
 #include "backend/gemm.hpp"
 #include "backend/gemmlib/tuned_gemm.hpp"
 #include "backend/im2col.hpp"
+#include "backend/simd/dispatch.hpp"
+#include "backend/simd/isa.hpp"
 #include "backend/winograd.hpp"
 #include "core/rng.hpp"
 #include "core/scratch_arena.hpp"
@@ -78,6 +80,26 @@ BM_ConvDirectDense(benchmark::State &state)
 }
 DLIS_BENCHMARK(BM_ConvDirectDense)->Arg(16)->Arg(32)->Arg(64);
 
+/** Scalar-pinned twin of BM_ConvDirectDense (see BM_GemmBlockedScalar). */
+void
+BM_ConvDirectDenseScalar(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 1);
+    Tensor w = randomTensor(Shape{c, c, 3, 3}, 2);
+    Tensor out(Shape{1, c, 32, 32});
+    simd::ScopedForceIsa force(simd::SimdIsa::Scalar);
+    for (auto _ : state) {
+        kernels::convDirectDense(p, in.data(), w.data(), nullptr,
+                                 out.data(), {1, true});
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * p.macs()));
+}
+DLIS_BENCHMARK(BM_ConvDirectDenseScalar)->Arg(16)->Arg(32)->Arg(64);
+
 /**
  * CSR-bank conv at a given sparsity percentage: shows the per-MAC
  * traversal penalty that defeats weight pruning on real hardware.
@@ -107,7 +129,7 @@ BM_ConvCsrBank(benchmark::State &state)
 }
 DLIS_BENCHMARK(BM_ConvCsrBank)->Arg(0)->Arg(50)->Arg(77)->Arg(90);
 
-/** Blocked GEMM vs problem size. */
+/** Blocked GEMM vs problem size (dispatched micro-kernel). */
 void
 BM_GemmBlocked(benchmark::State &state)
 {
@@ -123,7 +145,41 @@ BM_GemmBlocked(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations() * n * n * n));
 }
-DLIS_BENCHMARK(BM_GemmBlocked)->Arg(32)->Arg(64)->Arg(128);
+DLIS_BENCHMARK(BM_GemmBlocked)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512);
+
+/**
+ * The same blocked GEMM pinned to the scalar reference loop: the
+ * BM_GemmBlocked / BM_GemmBlockedScalar ratio is the dispatch layer's
+ * speedup, and tools/bench/compare_microbench.py fails CI when the
+ * dispatched variant regresses toward it.
+ */
+void
+BM_GemmBlockedScalar(benchmark::State &state)
+{
+    const size_t n = static_cast<size_t>(state.range(0));
+    Tensor a = randomTensor(Shape{n, n}, 6);
+    Tensor b = randomTensor(Shape{n, n}, 7);
+    Tensor c(Shape{n, n});
+    simd::ScopedForceIsa force(simd::SimdIsa::Scalar);
+    for (auto _ : state) {
+        kernels::gemmBlocked(a.data(), b.data(), c.data(), n, n, n,
+                             {1, true});
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * n * n * n));
+}
+DLIS_BENCHMARK(BM_GemmBlockedScalar)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512);
 
 /**
  * The GEMM library's fixed packing/padding work: tiny (CIFAR-shaped)
@@ -214,6 +270,24 @@ BM_Im2col(benchmark::State &state)
 }
 DLIS_BENCHMARK(BM_Im2col)->Arg(16)->Arg(64);
 
+/** Scalar-pinned twin of BM_Im2col (see BM_GemmBlockedScalar). */
+void
+BM_Im2colScalar(benchmark::State &state)
+{
+    const size_t c = static_cast<size_t>(state.range(0));
+    ConvParams p{1, c, 32, 32, c, 3, 3, 1, 1};
+    Tensor in = randomTensor(Shape{1, c, 32, 32}, 10);
+    std::vector<float> cols(kernels::im2colBufferSize(p));
+    simd::ScopedForceIsa force(simd::SimdIsa::Scalar);
+    for (auto _ : state) {
+        kernels::im2col(p, in.data(), cols.data());
+        benchmark::DoNotOptimize(cols.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(
+        state.iterations() * cols.size() * sizeof(float)));
+}
+DLIS_BENCHMARK(BM_Im2colScalar)->Arg(16)->Arg(64);
+
 /**
  * The whole im2col+GEMM conv path at steady state: a persistent
  * arena (as every ExecContext now owns) serves the column and tile
@@ -253,4 +327,21 @@ DLIS_BENCHMARK(BM_ConvIm2colGemmSteadyState)->Arg(16)->Arg(32)->Arg(64);
 } // namespace
 } // namespace dlis
 
-BENCHMARK_MAIN();
+/**
+ * Custom main (instead of BENCHMARK_MAIN) so the emitted JSON records
+ * which ISA the dispatcher resolved — scalar-vs-dispatched ratios are
+ * only meaningful against the right baseline, and the comparison
+ * script refuses to diff results from different ISAs.
+ */
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::AddCustomContext(
+        "simd_isa", dlis::simd::isaName(dlis::simd::activeIsa()));
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

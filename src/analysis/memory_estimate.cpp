@@ -40,12 +40,21 @@ effectiveThreads(Backend backend, int threads)
 
 /**
  * Arena bytes one gemmBlocked call bump-allocates: per-thread C tiles,
- * carved out as a single block before the parallel region.
+ * carved out as a single block before the parallel region. Mirrors
+ * the kernel's carve rule exactly: the team is clamped to the tile
+ * count of the [m, n] problem, and a single-tile or single-threaded
+ * call accumulates directly into C and carves nothing.
  */
 size_t
-gemmTileDemand(size_t tileM, size_t tileN, size_t threads)
+gemmTileDemand(size_t m, size_t n, size_t tileM, size_t tileN,
+               size_t threads)
 {
-    return ScratchArena::alignUp(threads * tileM * tileN *
+    const size_t rowTiles = (m + tileM - 1) / tileM;
+    const size_t colTiles = (n + tileN - 1) / tileN;
+    const size_t teams = std::min(threads, rowTiles * colTiles);
+    if (teams <= 1)
+        return 0;
+    return ScratchArena::alignUp(teams * tileM * tileN *
                                  sizeof(float));
 }
 
@@ -66,7 +75,7 @@ gemmLibDemand(size_t m, size_t k, size_t n, size_t threads)
     return ScratchArena::alignUp(mp * kp * sizeof(float)) +
            ScratchArena::alignUp(kp * np * sizeof(float)) +
            ScratchArena::alignUp(mp * np * sizeof(float)) +
-           gemmTileDemand(cfg.mwg, cfg.nwg, threads);
+           gemmTileDemand(mp, np, cfg.mwg, cfg.nwg, threads);
 }
 
 /** Activation + scratch bytes a Conv2d::forward allocates beyond its
@@ -103,7 +112,8 @@ convTransient(const Conv2d &conv, const Shape &in, Backend backend,
     if (conv.format() != WeightFormat::Dense)
         return {out, 0}; // sparse/packed kernels run direct, in place
     if (algo == ConvAlgo::Im2colGemm)
-        return {2 * out, cols + gemmTileDemand(kernels::kGemmTileM,
+        return {2 * out, cols + gemmTileDemand(m, n,
+                                               kernels::kGemmTileM,
                                                kernels::kGemmTileN,
                                                eff)};
     if (algo == ConvAlgo::Winograd && conv.kernel() == 3 &&

@@ -1,5 +1,7 @@
 #include "backend/conv_kernels.hpp"
 
+#include "backend/simd/dispatch.hpp"
+
 #if DLIS_HAVE_OPENMP
 #include <omp.h>
 #endif
@@ -288,6 +290,16 @@ convDirectDense(const ConvParams &p, const float *input,
                 const float *weight, const float *bias, float *output,
                 const KernelPolicy &policy)
 {
+    // The 3x3 stride-1 shape (most convs in the paper's models) has a
+    // vectorised variant; everything else runs the reference loop.
+    const simd::MicroKernels &mk = simd::activeKernels();
+    if (mk.conv3x3s1 && p.kh == 3 && p.kw == 3 && p.stride == 1) {
+        forEachImageChannel(p.n, p.cout, policy,
+            [&](size_t img, size_t oc) {
+                mk.conv3x3s1(p, input, weight, bias, output, img, oc);
+            });
+        return;
+    }
     forEachImageChannel(p.n, p.cout, policy,
         [&](size_t img, size_t oc) {
             denseConvOneChannel(p, input, weight, bias, output, img, oc);
@@ -336,6 +348,18 @@ convDirectPackedTernary(const ConvParams &p, const float *input,
     DLIS_CHECK(weight.numel() == p.cout * p.cin * p.kh * p.kw,
                "packed ternary weight has ", weight.numel(),
                " codes, conv expects ", p.cout * p.cin * p.kh * p.kw);
+    // Stride 1 lets the vector variant reuse one decode across a
+    // whole block of output pixels (bit-exact; ternary_decodes counts
+    // the decode() calls actually made, so it drops accordingly).
+    const simd::MicroKernels &mk = simd::activeKernels();
+    if (mk.ternaryConvS1 && p.stride == 1) {
+        forEachImageChannel(p.n, p.cout, policy,
+            [&](size_t img, size_t oc) {
+                mk.ternaryConvS1(p, input, weight, bias, output, img,
+                                 oc, policy.counters.ternaryDecodes);
+            });
+        return;
+    }
     forEachImageChannel(p.n, p.cout, policy,
         [&](size_t img, size_t oc) {
             packedTernaryConvOneChannel(p, input, weight, bias, output,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "backend/simd/dispatch.hpp"
 #include "core/scratch_arena.hpp"
 
 #if DLIS_HAVE_OPENMP
@@ -17,11 +18,12 @@ gemmNaive(const float *a, const float *b, float *c, size_t m, size_t k,
 {
     if (!accumulate)
         std::memset(c, 0, m * n * sizeof(float));
+    // No zero-skip on a[i,p]: skipping would drop NaN/Inf propagation
+    // (0 * Inf = NaN) and make the reference diverge from every other
+    // GEMM variant on non-finite inputs.
     for (size_t i = 0; i < m; ++i) {
         for (size_t p = 0; p < k; ++p) {
             const float av = a[i * k + p];
-            if (av == 0.0f)
-                continue;
             const float *brow = b + p * n;
             float *crow = c + i * n;
             for (size_t j = 0; j < n; ++j)
@@ -51,53 +53,71 @@ gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
     const size_t nthreads = 1;
 #endif
 
-    // Per-thread C tiles come from the context's arena (or a
-    // call-local one for standalone calls). Carved out before the
-    // parallel region: the arena is single-consumer.
-    ScratchArena localArena;
-    ScratchArena &ar = policy.arena ? *policy.arena : localArena;
-    ScratchArena::Scope scope(ar, policy.counters);
-    float *ctiles = ar.allocFloats(nthreads * tm * tn);
-
     const size_t rowTiles = (m + tm - 1) / tm;
     const size_t colTiles = (n + tn - 1) / tn;
     const size_t tiles = rowTiles * colTiles;
 
-    // Each task owns one output tile end-to-end: zero a private
-    // accumulator, sweep the K dimension in ascending p order (the
-    // same per-element addition chain as a straight i/p/j loop, so
-    // results are bit-identical for every thread count), then copy
-    // out. No two tasks touch the same C cacheline.
+    // Per-thread C tiles come from the context's arena (or a
+    // call-local one for standalone calls), carved out before the
+    // parallel region: the arena is single-consumer. Only a parallel
+    // run needs them — the team is clamped to the tile count, and a
+    // single-threaded or single-tile call (every small serving-path
+    // GEMM) accumulates directly into C and carves nothing, which is
+    // mirrored byte-for-byte by analysis/memory_estimate.
+    const size_t teams = std::min(nthreads, tiles);
+    ScratchArena localArena;
+    ScratchArena &ar = policy.arena ? *policy.arena : localArena;
+    ScratchArena::Scope scope(ar, policy.counters);
+    float *ctiles =
+        teams > 1 ? ar.allocFloats(teams * tm * tn) : nullptr;
+
+    const simd::MicroKernels &mk = simd::activeKernels();
+
+    // Each task owns one output tile end-to-end: zero its
+    // destination (a private accumulator when parallel, the C tile
+    // itself otherwise), sweep the K dimension in ascending p order
+    // (the same per-element addition chain as a straight i/p/j loop,
+    // so results are bit-identical for every thread count), then copy
+    // out. No two parallel tasks touch the same C cacheline.
     auto tile_body = [&](size_t t, float *ctile) {
         const size_t i0 = (t / colTiles) * tm;
         const size_t j0 = (t % colTiles) * tn;
         const size_t rows = std::min(tm, m - i0);
         const size_t cols = std::min(tn, n - j0);
-        std::memset(ctile, 0, rows * cols * sizeof(float));
-        for (size_t p0 = 0; p0 < k; p0 += tk) {
-            const size_t p1 = std::min(p0 + tk, k);
-            for (size_t i = 0; i < rows; ++i) {
-                const float *arow = a + (i0 + i) * k;
-                float *crow = ctile + i * cols;
-                for (size_t p = p0; p < p1; ++p) {
-                    const float av = arow[p];
-                    const float *brow = b + p * n + j0;
-                    for (size_t j = 0; j < cols; ++j)
-                        crow[j] += av * brow[j];
+        float *dst = ctile ? ctile : c + i0 * n + j0;
+        const size_t ldc = ctile ? cols : n;
+        for (size_t i = 0; i < rows; ++i)
+            std::memset(dst + i * ldc, 0, cols * sizeof(float));
+        if (mk.gemmTile) {
+            mk.gemmTile(a + i0 * k, k, b + j0, n, dst, ldc, rows, cols,
+                        k, tk);
+        } else {
+            for (size_t p0 = 0; p0 < k; p0 += tk) {
+                const size_t p1 = std::min(p0 + tk, k);
+                for (size_t i = 0; i < rows; ++i) {
+                    const float *arow = a + (i0 + i) * k;
+                    float *crow = dst + i * ldc;
+                    for (size_t p = p0; p < p1; ++p) {
+                        const float av = arow[p];
+                        const float *brow = b + p * n + j0;
+                        for (size_t j = 0; j < cols; ++j)
+                            crow[j] += av * brow[j];
+                    }
                 }
             }
         }
-        for (size_t i = 0; i < rows; ++i)
-            std::memcpy(c + (i0 + i) * n + j0, ctile + i * cols,
-                        cols * sizeof(float));
+        if (ctile)
+            for (size_t i = 0; i < rows; ++i)
+                std::memcpy(c + (i0 + i) * n + j0, ctile + i * cols,
+                            cols * sizeof(float));
     };
 
 #if DLIS_HAVE_OPENMP
-    if (nthreads > 1) {
+    if (teams > 1) {
         if (policy.counters.ompRegions)
             policy.counters.ompRegions->add(1);
         #pragma omp parallel for schedule(dynamic) \
-            num_threads(policy.threads)
+            num_threads(static_cast<int>(teams))
         for (size_t t = 0; t < tiles; ++t)
             tile_body(t, ctiles +
                             static_cast<size_t>(omp_get_thread_num()) *
@@ -106,7 +126,7 @@ gemmBlocked(const float *a, const float *b, float *c, size_t m, size_t k,
     }
 #endif
     for (size_t t = 0; t < tiles; ++t)
-        tile_body(t, ctiles);
+        tile_body(t, nullptr);
 }
 
 void
@@ -115,13 +135,13 @@ gemmAtB(const float *a, const float *b, float *c, size_t m, size_t k,
 {
     if (!accumulate)
         std::memset(c, 0, m * n * sizeof(float));
+    // Same no-zero-skip rule as gemmNaive: non-finite inputs must
+    // propagate identically across every GEMM variant.
     for (size_t p = 0; p < k; ++p) {
         const float *arow = a + p * m;
         const float *brow = b + p * n;
         for (size_t i = 0; i < m; ++i) {
             const float av = arow[i];
-            if (av == 0.0f)
-                continue;
             float *crow = c + i * n;
             for (size_t j = 0; j < n; ++j)
                 crow[j] += av * brow[j];

@@ -40,13 +40,19 @@ void gemmNaive(const float *a, const float *b, float *c, size_t m,
 
 /**
  * Cache-blocked GEMM: C = A * B, tiled MC/KC/NC, serial or OpenMP over
- * the flattened (row tile, column tile) grid. Each task accumulates
- * into a per-thread C tile drawn from the policy's scratch arena (a
- * call-local arena when policy.arena is null) and copies out once, so
+ * the flattened (row tile, column tile) grid. Parallel runs accumulate
+ * into per-thread C tiles drawn from the policy's scratch arena (a
+ * call-local arena when policy.arena is null) and copy out once, so
  * threads never share output cachelines and the kernel heap-allocates
- * nothing at steady state. Per output element the additions run in
- * strictly ascending p order, making the result bit-identical across
- * thread counts and tile shapes.
+ * nothing at steady state; the team is clamped to the tile count, and
+ * single-threaded or single-tile calls accumulate directly into C and
+ * carve nothing. The inner tile loop dispatches through
+ * simd::activeKernels() — the scalar ISA runs the reference loop
+ * below, AVX2/NEON run register-tiled FMA micro-kernels. Per output
+ * element the additions run in strictly ascending p order under every
+ * ISA, making the result bit-identical across thread counts and tile
+ * shapes (vector ISAs differ from scalar only by FMA's single
+ * rounding, within the parity-test tolerances).
  *
  * @param tileM/tileN/tileK  blocking factors (0 means kGemmTile*)
  */

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "backend/simd/dispatch.hpp"
+
 namespace dlis::kernels {
 
 size_t
@@ -13,6 +15,13 @@ im2colBufferSize(const ConvParams &p)
 void
 im2col(const ConvParams &p, const float *input, float *cols)
 {
+    // At stride 1 every column row is a contiguous input span plus
+    // zero padding; the vector variant is bit-exact (pure copies).
+    const simd::MicroKernels &mk = simd::activeKernels();
+    if (mk.im2colS1 && p.stride == 1) {
+        mk.im2colS1(p, input, cols);
+        return;
+    }
     const size_t ho = p.hout(), wo = p.wout();
     const size_t out_spatial = ho * wo;
     size_t row = 0;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "analysis/verifier.hpp"
+#include "backend/simd/isa.hpp"
 #include "obs/trace.hpp"
 #include "stack/inference_stack.hpp"
 
@@ -115,6 +116,15 @@ InferenceEngine::registerInstruments()
                                   "Requests currently queued");
     queuePeakGauge_ = &reg.gauge("dlis_serve_queue_peak",
                                  "High-water queue depth");
+
+    // Which micro-kernel ISA the dispatcher resolved (scalar on hosts
+    // without AVX2/NEON, or when pinned via DLIS_FORCE_ISA): a
+    // constant-1 labelled gauge, so dashboards can split latency
+    // series by ISA after a fleet rollout.
+    reg.gauge("dlis_simd_isa",
+              "SIMD instruction set the kernel dispatcher selected",
+              {{"isa", simd::isaName(simd::activeIsa())}})
+        .set(1);
 
     batchSizeHist_ = &reg.histogram(
         "dlis_serve_batch_size", "Realised batch sizes",

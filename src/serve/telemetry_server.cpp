@@ -1,5 +1,6 @@
 #include "serve/telemetry_server.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <string>
 
@@ -25,6 +26,8 @@ readRequest(int fd)
     while (request.find("\r\n\r\n") == std::string::npos &&
            request.size() < 16 * 1024) {
         const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0 && errno == EINTR)
+            continue; // signal mid-read, not a peer close: retry
         if (n <= 0)
             break;
         request.append(buf, static_cast<size_t>(n));
@@ -39,6 +42,8 @@ writeAll(int fd, const std::string &data)
     while (sent < data.size()) {
         const ssize_t n =
             ::send(fd, data.data() + sent, data.size() - sent, 0);
+        if (n < 0 && errno == EINTR)
+            continue; // signal mid-scrape must not truncate /metrics
         if (n <= 0)
             return;
         sent += static_cast<size_t>(n);

@@ -18,9 +18,11 @@
 
 #include <future>
 
+#include "backend/gemm.hpp"
 #include "backend/gemmlib/tuned_gemm.hpp"
 #include "backend/oclsim/ndrange.hpp"
 #include "core/memory_tracker.hpp"
+#include "core/scratch_arena.hpp"
 #include "nn/models/model.hpp"
 #include "obs/metrics.hpp"
 #include "serve/engine.hpp"
@@ -147,6 +149,56 @@ TEST(MemorySteadyState, ArenaCountersReportZeroGrowthWhenWarm)
     EXPECT_EQ(grownSteady, grownWarm)
         << "steady-state forward grew the arena";
     EXPECT_EQ(rewindsSteady, 2 * rewindsWarm);
+}
+
+TEST(MemorySteadyState, SmallGemmSkipsTileCarve)
+{
+    // gemmBlocked clamps its team to the tile count and accumulates
+    // directly into C when that leaves one worker — a small or serial
+    // GEMM must not carve per-thread C tiles from the arena at all.
+    // analysis/memory_estimate mirrors this rule; test_analysis pins
+    // the two together with EXPECT_EQ, so a change to one side of the
+    // rule fails there while this test localises which side moved.
+    const auto runGemm = [](size_t m, size_t k, size_t n, int threads,
+                            ScratchArena &arena) {
+        std::vector<float> a(m * k, 0.5f), b(k * n, 0.25f), c(m * n);
+        KernelPolicy policy{threads, true};
+        policy.arena = &arena;
+        kernels::gemmBlocked(a.data(), b.data(), c.data(), m, k, n,
+                             policy);
+    };
+
+    {
+        // Single tile (fits 32x64), serial: no carve.
+        ScratchArena arena;
+        runGemm(16, 24, 32, 1, arena);
+        EXPECT_EQ(arena.capacityBytes(), 0u) << "single-tile carved";
+    }
+    {
+        // Multi-tile but serial: still no carve.
+        ScratchArena arena;
+        runGemm(64, 32, 128, 1, arena);
+        EXPECT_EQ(arena.capacityBytes(), 0u) << "serial carved";
+    }
+    {
+        // Single tile with a thread surplus: team clamps to 1 tile,
+        // so the parallel path is skipped and nothing is carved.
+        ScratchArena arena;
+        runGemm(16, 24, 32, 4, arena);
+        EXPECT_EQ(arena.capacityBytes(), 0u) << "clamped team carved";
+    }
+#if DLIS_HAVE_OPENMP
+    {
+        // Genuinely parallel multi-tile run: exactly one block of
+        // teams * tileM * tileN floats, nothing else.
+        ScratchArena arena;
+        runGemm(64, 32, 128, 2, arena); // 2x2 tiles, 2 threads
+        EXPECT_EQ(arena.capacityBytes(),
+                  ScratchArena::alignUp(2 * kernels::kGemmTileM *
+                                        kernels::kGemmTileN *
+                                        sizeof(float)));
+    }
+#endif
 }
 
 TEST(MemorySteadyState, ServingWithTelemetryKeepsScratchWarm)

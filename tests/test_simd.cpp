@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Tail, alignment and parity tests for the SIMD dispatch layer.
+ *
+ * Every comparison here runs scalar and vector variants of the same
+ * kernel in one process by re-pointing the dispatch table with
+ * ScopedForceIsa — no environment juggling, no fixture forking. On a
+ * host without a vector ISA (bestSupportedIsa() == Scalar) the
+ * comparisons degenerate to scalar-vs-scalar and still must hold;
+ * the ctest twins pinned to DLIS_FORCE_ISA=scalar cover the env-var
+ * path end to end.
+ *
+ * Size grids deliberately straddle the vector widths: 1, vw-1, vw,
+ * vw+1 and primes exercise every tail branch of the micro-kernels,
+ * and the mis-alignment tests hand the kernels pointers bumped off
+ * the arena's 64-byte grain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "backend/conv_kernels.hpp"
+#include "backend/gemm.hpp"
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "backend/im2col.hpp"
+#include "backend/simd/dispatch.hpp"
+#include "backend/simd/isa.hpp"
+#include "core/rng.hpp"
+#include "sparse/ternary.hpp"
+#include "test_helpers.hpp"
+
+namespace dlis {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+/** |a-b| <= tol * max(1, |a|, |b|) over @p count floats. */
+void
+expectSpanClose(const float *ref, const float *got, size_t count,
+                float tol, const std::string &what)
+{
+    for (size_t i = 0; i < count; ++i) {
+        const float scale =
+            std::max({1.0f, std::abs(ref[i]), std::abs(got[i])});
+        ASSERT_LE(std::abs(ref[i] - got[i]), tol * scale)
+            << what << " diverges at flat index " << i << ": "
+            << ref[i] << " vs " << got[i];
+    }
+}
+
+std::vector<float>
+randomVec(size_t count, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<float> v(count);
+    for (float &x : v)
+        x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    return v;
+}
+
+TEST(SimdIsa, NamesRoundTrip)
+{
+    for (simd::SimdIsa isa :
+         {simd::SimdIsa::Scalar, simd::SimdIsa::Avx2,
+          simd::SimdIsa::Neon}) {
+        bool ok = false;
+        EXPECT_EQ(simd::parseIsaName(simd::isaName(isa), ok), isa);
+        EXPECT_TRUE(ok);
+    }
+    bool ok = true;
+    simd::parseIsaName("sse9", ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(SimdIsa, ScalarAlwaysSupportedAndBestIsSupported)
+{
+    EXPECT_TRUE(simd::isaSupported(simd::SimdIsa::Scalar));
+    EXPECT_TRUE(simd::isaSupported(simd::bestSupportedIsa()));
+    EXPECT_TRUE(simd::isaSupported(simd::activeIsa()));
+}
+
+TEST(SimdIsa, ScalarTableIsAllNull)
+{
+    const simd::MicroKernels &t =
+        simd::kernelsFor(simd::SimdIsa::Scalar);
+    EXPECT_EQ(t.isa, simd::SimdIsa::Scalar);
+    EXPECT_EQ(t.gemmTile, nullptr);
+    EXPECT_EQ(t.conv3x3s1, nullptr);
+    EXPECT_EQ(t.im2colS1, nullptr);
+    EXPECT_EQ(t.ternaryConvS1, nullptr);
+}
+
+TEST(SimdIsa, ScopedForceSwapsAndRestores)
+{
+    const simd::SimdIsa before = simd::activeKernels().isa;
+    {
+        simd::ScopedForceIsa force(simd::SimdIsa::Scalar);
+        EXPECT_EQ(simd::activeKernels().isa, simd::SimdIsa::Scalar);
+    }
+    EXPECT_EQ(simd::activeKernels().isa, before);
+}
+
+/**
+ * gemmBlocked under the native table vs the scalar table vs
+ * gemmNaive, at sizes straddling both vector widths (8 for AVX2, 4
+ * for NEON) and the micro-kernel's 8-row register tile.
+ */
+TEST(SimdGemm, TailSizesMatchScalar)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    const size_t sizes[] = {1, 3, 4, 5, 7, 8, 9, 13, 16, 31, 37};
+    uint64_t seed = 100;
+    for (size_t m : sizes) {
+        for (size_t k : {size_t{1}, size_t{7}, size_t{13},
+                         size_t{64}, size_t{65}}) {
+            for (size_t n : sizes) {
+                const std::string what =
+                    "m=" + std::to_string(m) + " k=" +
+                    std::to_string(k) + " n=" + std::to_string(n);
+                const auto a = randomVec(m * k, seed++);
+                const auto b = randomVec(k * n, seed++);
+                std::vector<float> ref(m * n), scal(m * n),
+                    vec(m * n);
+                kernels::gemmNaive(a.data(), b.data(), ref.data(), m,
+                                   k, n);
+                {
+                    simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+                    kernels::gemmBlocked(a.data(), b.data(),
+                                         scal.data(), m, k, n,
+                                         {1, true});
+                }
+                {
+                    simd::ScopedForceIsa f(best);
+                    kernels::gemmBlocked(a.data(), b.data(),
+                                         vec.data(), m, k, n,
+                                         {1, true});
+                }
+                // Scalar-forced blocked GEMM reorders nothing vs the
+                // reference: bit-exact.
+                for (size_t i = 0; i < m * n; ++i)
+                    ASSERT_EQ(ref[i], scal[i]) << what << " i=" << i;
+                expectSpanClose(ref.data(), vec.data(), m * n, kTol,
+                                what);
+            }
+        }
+    }
+}
+
+/** Larger shapes than the tail grid, including full-tile multiples. */
+TEST(SimdGemm, BlockedShapesMatchScalar)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    const size_t shapes[][3] = {
+        {64, 64, 64}, {127, 33, 65}, {96, 128, 67}, {31, 127, 128}};
+    uint64_t seed = 900;
+    for (const auto &s : shapes) {
+        const size_t m = s[0], k = s[1], n = s[2];
+        const auto a = randomVec(m * k, seed++);
+        const auto b = randomVec(k * n, seed++);
+        std::vector<float> scal(m * n), vec(m * n);
+        {
+            simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+            kernels::gemmBlocked(a.data(), b.data(), scal.data(), m,
+                                 k, n, {1, true});
+        }
+        {
+            simd::ScopedForceIsa f(best);
+            kernels::gemmBlocked(a.data(), b.data(), vec.data(), m, k,
+                                 n, {1, true});
+        }
+        expectSpanClose(scal.data(), vec.data(), m * n, kTol,
+                        "m=" + std::to_string(m));
+    }
+}
+
+/**
+ * The micro-kernels must accept pointers off the arena's 64-byte
+ * grain: feed them buffers deliberately bumped by one float.
+ */
+TEST(SimdGemm, MisalignedBuffersMatchScalar)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    const size_t m = 37, k = 29, n = 53;
+    const auto a = randomVec(m * k + 1, 7001);
+    const auto b = randomVec(k * n + 1, 7002);
+    std::vector<float> scal(m * n + 1), vec(m * n + 1);
+    {
+        simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+        kernels::gemmBlocked(a.data() + 1, b.data() + 1,
+                             scal.data() + 1, m, k, n, {1, true});
+    }
+    {
+        simd::ScopedForceIsa f(best);
+        kernels::gemmBlocked(a.data() + 1, b.data() + 1,
+                             vec.data() + 1, m, k, n, {1, true});
+    }
+    expectSpanClose(scal.data() + 1, vec.data() + 1, m * n, kTol,
+                    "misaligned gemm");
+}
+
+/**
+ * Regression test for the gemmNaive zero-skip: skipping `av == 0`
+ * products also skipped 0 * Inf and 0 * NaN, silently laundering
+ * non-finite inputs into finite outputs. Every GEMM variant must
+ * propagate them identically now.
+ */
+TEST(SimdGemm, NonFiniteInputsPropagateInEveryVariant)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    const size_t m = 5, k = 7, n = 9;
+    auto a = randomVec(m * k, 8101);
+    auto b = randomVec(k * n, 8102);
+    const float inf = std::numeric_limits<float>::infinity();
+    // a[1,3] = 0 against b[3,0] = Inf: c[1,0] must be NaN (0 * Inf),
+    // and column 0 rows != 1 must be +/-Inf (finite * Inf dominates).
+    a[1 * k + 3] = 0.0f;
+    b[3 * n + 0] = inf;
+    // a[2,4] = NaN poisons all of row 2.
+    a[2 * k + 4] = std::numeric_limits<float>::quiet_NaN();
+
+    std::vector<float> ref(m * n);
+    kernels::gemmNaive(a.data(), b.data(), ref.data(), m, k, n);
+    ASSERT_TRUE(std::isnan(ref[1 * n + 0])) << "0 * Inf skipped";
+    ASSERT_TRUE(std::isinf(ref[0 * n + 0]));
+    for (size_t j = 0; j < n; ++j)
+        ASSERT_TRUE(std::isnan(ref[2 * n + j])) << "NaN row j=" << j;
+
+    /** Same non-finite class, and same sign for infinities. */
+    const auto expectSameClass = [&](const float *got,
+                                     const std::string &what) {
+        for (size_t i = 0; i < m * n; ++i) {
+            if (std::isnan(ref[i])) {
+                ASSERT_TRUE(std::isnan(got[i])) << what << " i=" << i;
+            } else if (std::isinf(ref[i])) {
+                ASSERT_EQ(ref[i], got[i]) << what << " i=" << i;
+            } else {
+                const float scale = std::max(
+                    {1.0f, std::abs(ref[i]), std::abs(got[i])});
+                ASSERT_LE(std::abs(ref[i] - got[i]), kTol * scale)
+                    << what << " i=" << i;
+            }
+        }
+    };
+
+    std::vector<float> c(m * n);
+    {
+        simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+        kernels::gemmBlocked(a.data(), b.data(), c.data(), m, k, n,
+                             {1, true});
+    }
+    expectSameClass(c.data(), "gemmBlocked scalar");
+    {
+        simd::ScopedForceIsa f(best);
+        kernels::gemmBlocked(a.data(), b.data(), c.data(), m, k, n,
+                             {1, true});
+    }
+    expectSameClass(c.data(), "gemmBlocked native");
+    {
+        gemmlib::GemmLibrary lib;
+        lib.gemm(a.data(), b.data(), c.data(), m, k, n, {1, true});
+        expectSameClass(c.data(), "GemmLibrary");
+    }
+    {
+        // A^T layout: at[p * m + i] = a[i * k + p].
+        std::vector<float> at(k * m);
+        for (size_t i = 0; i < m; ++i)
+            for (size_t p = 0; p < k; ++p)
+                at[p * m + i] = a[i * k + p];
+        kernels::gemmAtB(at.data(), b.data(), c.data(), m, k, n);
+        expectSameClass(c.data(), "gemmAtB");
+    }
+    {
+        // B^T layout: bt[j * k + p] = b[p * n + j].
+        std::vector<float> bt(n * k);
+        for (size_t p = 0; p < k; ++p)
+            for (size_t j = 0; j < n; ++j)
+                bt[j * k + p] = b[p * n + j];
+        kernels::gemmABt(a.data(), bt.data(), c.data(), m, k, n);
+        expectSameClass(c.data(), "gemmABt");
+    }
+}
+
+/** One conv geometry for the direct / im2col / ternary parity runs. */
+struct ConvCase
+{
+    ConvParams p;
+    std::string
+    str() const
+    {
+        return "cin=" + std::to_string(p.cin) + " cout=" +
+               std::to_string(p.cout) + " k=" + std::to_string(p.kh) +
+               " s=" + std::to_string(p.stride) + " pad=" +
+               std::to_string(p.pad) + " in=" + std::to_string(p.hin) +
+               "x" + std::to_string(p.win) + " n=" +
+               std::to_string(p.n);
+    }
+};
+
+// ConvParams is {n, cin, hin, win, cout, kh, kw, stride, pad}.
+const ConvCase kConv3x3Cases[] = {
+    {{1, 1, 3, 3, 1, 3, 3, 1, 0}},   // single output pixel
+    {{1, 2, 5, 4, 3, 3, 3, 1, 1}},   // tiny, no 8-wide interior
+    {{2, 3, 9, 9, 4, 3, 3, 1, 1}},   // classic same-pad
+    {{1, 3, 12, 17, 5, 3, 3, 1, 0}}, // valid conv, odd width
+    {{1, 4, 8, 23, 2, 3, 3, 1, 2}},  // pad 2: two border columns
+    {{2, 2, 16, 33, 3, 3, 3, 1, 1}}, // width crosses several blocks
+};
+
+TEST(SimdConv, Direct3x3MatchesScalarAcrossGeometries)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    uint64_t seed = 300;
+    for (const ConvCase &c : kConv3x3Cases) {
+        SCOPED_TRACE(c.str());
+        const ConvParams &p = c.p;
+        const auto input =
+            randomVec(p.n * p.cin * p.hin * p.win, seed++);
+        const auto weight =
+            randomVec(p.cout * p.cin * p.kh * p.kw, seed++);
+        const auto bias = randomVec(p.cout, seed++);
+        const size_t outCount = p.n * p.cout * p.hout() * p.wout();
+        std::vector<float> scal(outCount), vec(outCount);
+        {
+            simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+            kernels::convDirectDense(p, input.data(), weight.data(),
+                                     bias.data(), scal.data(),
+                                     {1, true});
+        }
+        {
+            simd::ScopedForceIsa f(best);
+            kernels::convDirectDense(p, input.data(), weight.data(),
+                                     bias.data(), vec.data(),
+                                     {1, true});
+        }
+        expectSpanClose(scal.data(), vec.data(), outCount, kTol,
+                        c.str());
+    }
+}
+
+const ConvCase kIm2colCases[] = {
+    {{1, 1, 3, 3, 1, 3, 3, 1, 0}},
+    {{1, 2, 7, 5, 1, 3, 3, 1, 1}},
+    {{1, 3, 9, 16, 1, 3, 3, 1, 2}},
+    {{1, 2, 11, 33, 1, 5, 5, 1, 2}}, // 5x5 taps
+    {{1, 2, 8, 9, 1, 1, 1, 1, 0}},   // pointwise
+    {{1, 2, 9, 9, 1, 3, 3, 2, 1}},   // stride 2: scalar path
+};
+
+TEST(SimdIm2col, BitExactAgainstScalar)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    uint64_t seed = 500;
+    for (const ConvCase &c : kIm2colCases) {
+        SCOPED_TRACE(c.str());
+        // im2col consumes one image: clamp n to 1.
+        ConvParams p = c.p;
+        p.n = 1;
+        const auto input = randomVec(p.cin * p.hin * p.win, seed++);
+        const size_t count = kernels::im2colBufferSize(p);
+        std::vector<float> scal(count, -2.0f), vec(count, -3.0f);
+        {
+            simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+            kernels::im2col(p, input.data(), scal.data());
+        }
+        {
+            simd::ScopedForceIsa f(best);
+            kernels::im2col(p, input.data(), vec.data());
+        }
+        for (size_t i = 0; i < count; ++i)
+            ASSERT_EQ(scal[i], vec[i]) << c.str() << " i=" << i;
+    }
+}
+
+const ConvCase kTernaryCases[] = {
+    {{1, 2, 5, 4, 3, 3, 3, 1, 1}},
+    {{2, 3, 9, 9, 4, 3, 3, 1, 1}},
+    {{1, 3, 10, 21, 2, 3, 3, 1, 0}},
+    {{1, 2, 9, 17, 3, 5, 5, 1, 2}}, // 5x5 taps
+    {{1, 3, 9, 9, 2, 3, 3, 2, 1}},  // stride 2: scalar path
+};
+
+TEST(SimdConv, PackedTernaryBitExactAndDecodesDrop)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    uint64_t seed = 700;
+    for (const ConvCase &c : kTernaryCases) {
+        SCOPED_TRACE(c.str());
+        const ConvParams &p = c.p;
+        const auto input =
+            randomVec(p.n * p.cin * p.hin * p.win, seed++);
+        Tensor w = test::randomTensor(
+            Shape{p.cout, p.cin, p.kh, p.kw}, seed++);
+        const PackedTernary packed = PackedTernary::pack(
+            TernaryWeights::quantise(w, 0.3).toDense());
+        const auto bias = randomVec(p.cout, seed++);
+        const size_t outCount = p.n * p.cout * p.hout() * p.wout();
+        std::vector<float> scal(outCount), vec(outCount);
+
+        obs::Counter scalDecodes, vecDecodes;
+        KernelPolicy scalPolicy{1, true};
+        scalPolicy.counters.ternaryDecodes = &scalDecodes;
+        KernelPolicy vecPolicy{1, true};
+        vecPolicy.counters.ternaryDecodes = &vecDecodes;
+        {
+            simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+            kernels::convDirectPackedTernary(p, input.data(), packed,
+                                             bias.data(), scal.data(),
+                                             scalPolicy);
+        }
+        {
+            simd::ScopedForceIsa f(best);
+            kernels::convDirectPackedTernary(p, input.data(), packed,
+                                             bias.data(), vec.data(),
+                                             vecPolicy);
+        }
+        // The vector variant performs no reassociation: bit-exact.
+        for (size_t i = 0; i < outCount; ++i)
+            ASSERT_EQ(scal[i], vec[i]) << c.str() << " i=" << i;
+        // Block-decoding may only reduce decode work, and must cut it
+        // substantially when a vector ISA ran a wide interior.
+        EXPECT_LE(vecDecodes.value(), scalDecodes.value()) << c.str();
+        if (best != simd::SimdIsa::Scalar && p.stride == 1 &&
+            p.kh == 3 && p.win >= 20) {
+            EXPECT_LT(2 * vecDecodes.value(), scalDecodes.value())
+                << c.str();
+        }
+    }
+}
+
+/** Conv inputs bumped off the 64-byte grain, as the tail contract
+ *  requires (the arena aligns, tests deliberately don't). */
+TEST(SimdConv, MisalignedConvBuffersMatchScalar)
+{
+    const simd::SimdIsa best = simd::bestSupportedIsa();
+    const ConvParams p{1, 3, 11, 19, 4, 3, 3, 1, 1};
+    const auto input =
+        randomVec(p.cin * p.hin * p.win + 1, 9001);
+    const auto weight =
+        randomVec(p.cout * p.cin * p.kh * p.kw + 1, 9002);
+    const auto bias = randomVec(p.cout + 1, 9003);
+    const size_t outCount = p.cout * p.hout() * p.wout();
+    std::vector<float> scal(outCount + 1), vec(outCount + 1);
+    {
+        simd::ScopedForceIsa f(simd::SimdIsa::Scalar);
+        kernels::convDirectDense(p, input.data() + 1,
+                                 weight.data() + 1, bias.data() + 1,
+                                 scal.data() + 1, {1, true});
+    }
+    {
+        simd::ScopedForceIsa f(best);
+        kernels::convDirectDense(p, input.data() + 1,
+                                 weight.data() + 1, bias.data() + 1,
+                                 vec.data() + 1, {1, true});
+    }
+    expectSpanClose(scal.data() + 1, vec.data() + 1, outCount, kTol,
+                    "misaligned conv");
+}
+
+} // namespace
+} // namespace dlis

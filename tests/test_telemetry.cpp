@@ -12,7 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <new>
 #include <string>
 #include <thread>
@@ -422,6 +424,57 @@ TEST(Telemetry, HttpExporterServesMetricsStatuszHealthz)
     EXPECT_NE(httpGet(server.port(), "/nope").find("404 Not Found"),
               std::string::npos);
     server.stop();
+}
+
+TEST(Telemetry, HttpRequestSplitAcrossPacketsStillParses)
+{
+    // TCP gives no message boundaries: a scraper's GET can arrive in
+    // several recv() chunks. readRequest must keep reading until the
+    // header terminator, not treat a short read as the whole request.
+    obs::MetricsRegistry registry;
+    serve::TelemetryServer server(registry);
+    ASSERT_NE(server.port(), 0);
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)),
+              0);
+
+    // Three deliberately tiny writes with pauses in between, so the
+    // server's first recv() observes a partial request line.
+    const char *chunks[] = {"GET /hea", "lthz HTTP/1.1\r\n",
+                            "Host: localhost\r\n\r\n"};
+    for (const char *chunk : chunks) {
+        const size_t len = std::strlen(chunk);
+        size_t sent = 0;
+        while (sent < len) {
+            const ssize_t n = ::send(fd, chunk + sent, len - sent, 0);
+            ASSERT_GT(n, 0);
+            sent += static_cast<size_t>(n);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    std::string response;
+    char buf[1024];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    server.stop();
+
+    EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << response;
+    EXPECT_NE(httpBody(response).find("ok"), std::string::npos)
+        << response;
 }
 
 TEST(Telemetry, HttpQuitEndpointReleasesWait)

@@ -27,6 +27,12 @@ expresses:
                    counters. Lifecycle flags (stop/accepting bits) may
                    stay atomics with a justified same-line
                    ``dlis-lint: allow(serve-atomic)``.
+  simd-intrinsics  No raw SIMD intrinsics (``<immintrin.h>``,
+                   ``<arm_neon.h>``, ``_mm*``/``v*q_f32`` calls)
+                   outside src/backend/simd/: vector code goes through
+                   the dispatch layer (simd::activeKernels()) so every
+                   call site keeps a scalar reference path and the
+                   binary stays runnable on any host.
 
 Suppress a finding with a same-line comment::
 
@@ -57,6 +63,14 @@ RULE_EXEMPT = {
 RULE_ONLY = {
     "kernel-heap-alloc": ("src/backend/",),
     "serve-atomic": ("src/serve/",),
+}
+
+# Rules suspended under specific path prefixes — the inverse of
+# RULE_ONLY, for rules that apply everywhere *except* a directory
+# where the flagged construct is the point (substring match, as
+# above).
+RULE_EXCEPT = {
+    "simd-intrinsics": ("src/backend/simd/",),
 }
 
 RULES = [
@@ -102,6 +116,26 @@ RULES = [
         "ad-hoc atomic in the serving layer; publish through "
         "obs::MetricsRegistry (obs/registry.hpp), or justify a "
         "lifecycle flag with allow(serve-atomic)",
+    ),
+    (
+        "simd-intrinsics",
+        re.compile(
+            r"#\s*include\s*<(immintrin\.h|arm_neon\.h|x86intrin\.h"
+            r"|emmintrin\.h|avxintrin\.h)>"
+        ),
+        "raw intrinsics header {match} outside src/backend/simd/; "
+        "route vector code through simd::activeKernels()",
+    ),
+    (
+        "simd-intrinsics",
+        re.compile(
+            r"(?<![\w.])(_mm\d{0,3}_[a-z0-9_]+"
+            r"|__m(?:128|256|512)[id]?\b"
+            r"|v[a-z][a-z0-9_]*q?_[suf](?:8|16|32|64)"
+            r"|float32x[24]_t|int32x[24]_t|uint32x[24]_t)",
+        ),
+        "raw SIMD intrinsic {match} outside src/backend/simd/; "
+        "route vector code through simd::activeKernels()",
     ),
 ]
 
@@ -181,6 +215,8 @@ def lint_file(path: Path) -> list[str]:
                 continue
             only = RULE_ONLY.get(rule)
             if only is not None and not any(o in posix for o in only):
+                continue
+            if any(e in posix for e in RULE_EXCEPT.get(rule, ())):
                 continue
             m = pattern.search(line)
             if m:
