@@ -11,7 +11,6 @@
  * the typical cost and the tail.
  */
 
-#include <algorithm>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -26,18 +25,16 @@
 #include "core/rng.hpp"
 #include "core/scratch_arena.hpp"
 #include "core/tensor.hpp"
-#include "obs/stats.hpp"
+#include "tune/measure.hpp"
 
 namespace dlis {
 namespace {
 
-/** p90 aggregate across repetitions, via the shared stats helper. */
+/** p90 aggregate across repetitions, via the shared harness. */
 double
 p90Statistic(const std::vector<double> &samples)
 {
-    std::vector<double> sorted(samples);
-    std::sort(sorted.begin(), sorted.end());
-    return obs::percentile(sorted, 90.0);
+    return tune::percentileOf(samples, 90.0);
 }
 
 /**

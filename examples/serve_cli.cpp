@@ -9,6 +9,10 @@
  *             [--technique plain|wp|cp|ttq] [--rate-param <fraction>]
  *             [--format dense|csr|packed]
  *             [--backend serial|openmp] [--threads <n>]
+ *             [--plan <file>]         execute a tuned per-layer
+ *                                     DeploymentPlan; the pre-flight
+ *                                     rejects a corrupt, stale, or
+ *                                     foreign plan before serving
  *             [--workers <n>]         pool size (default 2)
  *             [--max-batch <n>]       coalescing limit (default 8)
  *             [--max-delay-us <n>]    batching linger (default 2000)
@@ -122,6 +126,7 @@ main(int argc, char **argv)
         std::stoull(argValue(argc, argv, "--max-delay-us", "2000")));
     serveConfig.queueCapacity = static_cast<size_t>(
         std::stoul(argValue(argc, argv, "--queue", "64")));
+    serveConfig.planFile = argValue(argc, argv, "--plan", "");
 
     serve::ReplayConfig replay;
     replay.requests = static_cast<size_t>(
@@ -160,9 +165,22 @@ main(int argc, char **argv)
     InferenceStack stack(config);
     obs::Metrics metrics;
     obs::Tracer tracer;
-    serve::InferenceEngine engine(
-        stack, serveConfig, &metrics,
-        tracePath[0] ? &tracer : nullptr);
+    std::unique_ptr<serve::InferenceEngine> enginePtr;
+    try {
+        enginePtr = std::make_unique<serve::InferenceEngine>(
+            stack, serveConfig, &metrics,
+            tracePath[0] ? &tracer : nullptr);
+    } catch (const serve::RejectedError &e) {
+        // The pre-flight refused the configuration (typically a
+        // stale, foreign, or corrupt --plan): report and exit
+        // instead of serving under the wrong configuration.
+        std::fprintf(stderr, "serve: rejected — %s\n", e.what());
+        return 1;
+    }
+    serve::InferenceEngine &engine = *enginePtr;
+    if (!serveConfig.planFile.empty())
+        std::printf("plan: executing %s\n",
+                    serveConfig.planFile.c_str());
 
     std::unique_ptr<serve::TelemetryServer> telemetry;
     if (wantTelemetry) {

@@ -30,6 +30,23 @@
  *                                        one-shot inference
  *             [--requests <n>] [--rate <req/s>] [--workers <n>]
  *             [--max-batch <n>]          serve-sim parameters
+ *             [--tune]                   search a per-layer deployment
+ *                                        plan (algo x backend x
+ *                                        threads per layer), cache it
+ *                                        under --plan-dir, and report
+ *                                        it against the best single
+ *                                        global configuration
+ *             [--plan-dir <dir>]         plan cache directory
+ *                                        (default results/plans)
+ *             [--tune-reps <n>] [--tune-topk <n>]
+ *                                        tuner measurement budget
+ *             [--plan <file>]            execute a tuned plan:
+ *                                        validate it against this
+ *                                        host + network (nonzero exit
+ *                                        and a diagnostic on any
+ *                                        mismatch), check parity
+ *                                        against the serial direct
+ *                                        forward, report its p50
  *
  * Prints the configured stack's achieved compression, simulated
  * platform time, host-measured time, and memory footprint. With
@@ -41,12 +58,14 @@
  * percentiles, and the realised batch-size histogram.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "analysis/verifier.hpp"
 #include "core/logging.hpp"
+#include "core/rng.hpp"
 #include "hw/cost_model.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -54,6 +73,7 @@
 #include "serve/replay.hpp"
 #include "stack/inference_stack.hpp"
 #include "stack/report.hpp"
+#include "tune/tuner.hpp"
 
 using namespace dlis;
 
@@ -172,6 +192,128 @@ runServeSim(int argc, char **argv, InferenceStack &stack,
     return 0;
 }
 
+/** Seconds with 3 significant digits (layer times are microseconds). */
+std::string
+fmtSig(double seconds)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3g", seconds);
+    return buf;
+}
+
+/** --tune mode: search, cache and report a per-layer plan. */
+int
+runTune(int argc, char **argv, InferenceStack &stack,
+        const DeviceModel &device)
+{
+    tune::TuneOptions opts;
+    opts.device = device;
+    opts.reps = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--tune-reps", "5")));
+    opts.topK = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--tune-topk", "8")));
+    const std::string dir =
+        argValue(argc, argv, "--plan-dir", "results/plans");
+
+    const tune::TuneOutcome outcome =
+        tune::tuneOrLoadPlan(stack, opts, dir);
+    std::printf("plan cache: %s\n", outcome.cacheHit
+                                        ? "hit — search skipped"
+                                        : "miss — searched");
+
+    const tune::DeploymentPlan &plan = outcome.plan;
+    TablePrinter table("per-layer deployment plan (" +
+                       stack.config().modelName + ")");
+    table.setHeader({"layer", "backend", "algo", "threads",
+                     "measured s", "predicted s"});
+    for (const tune::LayerPlan &lp : plan.layers)
+        table.addRow({lp.layer, tune::backendToken(lp.backend),
+                      tune::algoToken(lp.algo),
+                      std::to_string(lp.threads),
+                      fmtSig(lp.measuredSeconds),
+                      fmtSig(lp.predictedSeconds)});
+    table.print();
+
+    std::printf("tuned p50 %.6f s | best global (%s) %.6f s | "
+                "speedup %.2fx\n",
+                plan.tunedP50, plan.bestGlobalConfig.c_str(),
+                plan.bestGlobalP50,
+                plan.tunedP50 > 0.0
+                    ? plan.bestGlobalP50 / plan.tunedP50
+                    : 0.0);
+    std::printf("plan: %s\n", outcome.path.c_str());
+    return 0;
+}
+
+/** --plan mode: validate, parity-check and time a tuned plan. */
+int
+runPlan(int argc, char **argv, InferenceStack &stack,
+        const std::string &planPath)
+{
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+
+    tune::DeploymentPlan plan;
+    try {
+        plan = tune::loadPlanFile(planPath);
+    } catch (const tune::PlanError &e) {
+        std::printf("%s\n", e.what());
+        std::printf("plan rejected: %s\n", planPath.c_str());
+        return 1;
+    }
+    bool bad = false;
+    for (const analysis::Diagnostic &d :
+         tune::validatePlan(plan, net, input)) {
+        std::printf("%s\n", d.str().c_str());
+        bad |= d.severity == analysis::Severity::Error;
+    }
+    if (bad) {
+        std::printf("plan rejected: %s\n", planPath.c_str());
+        return 1;
+    }
+
+    // Parity gate before timing anything: the plan-driven forward
+    // must match the serial/direct reference within the cross-backend
+    // tolerance (the plan only re-routes layers; it must not change
+    // what the network computes).
+    Rng rng(plan.seed ? plan.seed : 42);
+    Tensor in(input);
+    in.fillUniform(rng, -1.0f, 1.0f);
+
+    tune::PlanRuntime runtime(plan);
+    ExecContext planCtx;
+    runtime.bind(planCtx);
+    const Tensor tuned = net.forward(in, planCtx);
+
+    ExecContext refCtx; // serial, direct, 1 thread
+    const Tensor ref = net.forward(in, refCtx);
+
+    bool parity = tuned.shape() == ref.shape();
+    for (size_t i = 0; parity && i < ref.numel(); ++i) {
+        const float a = tuned[i];
+        const float b = ref[i];
+        const float scale =
+            std::max(1.0f, std::max(std::fabs(a), std::fabs(b)));
+        parity = std::fabs(a - b) <= 1e-4f * scale;
+    }
+    std::printf("plan parity: %s\n", parity ? "ok" : "FAIL");
+    if (!parity)
+        return 1;
+
+    const size_t repeats = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--repeat", "5")));
+    tune::MeasureOptions mo;
+    mo.warmup = 1;
+    mo.reps = repeats;
+    const double p50 = tune::measureMedianSeconds(
+        [&] { (void)net.forward(in, planCtx); }, mo);
+    std::printf("plan p50 %.6f s (%zu repeats) | tuned at %.6f s | "
+                "best global (%s) %.6f s\n",
+                p50, repeats, plan.tunedP50,
+                plan.bestGlobalConfig.c_str(), plan.bestGlobalP50);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -230,6 +372,13 @@ main(int argc, char **argv)
 
     const DeviceModel device =
         platform == "i7" ? intelCoreI7() : odroidXu4();
+
+    if (hasFlag(argc, argv, "--tune"))
+        return runTune(argc, argv, stack, device);
+
+    const std::string planPath = argValue(argc, argv, "--plan", "");
+    if (!planPath.empty())
+        return runPlan(argc, argv, stack, planPath);
     const CostModel cost(device);
     const auto costs = stack.stageCosts();
 

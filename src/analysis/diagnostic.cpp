@@ -37,6 +37,11 @@ checkName(Check c)
       case Check::FoldBnHazard:         return "fold-bn-hazard";
       case Check::EmptyNetwork:         return "empty-network";
       case Check::BadConfig:            return "bad-config";
+      case Check::PlanParse:            return "plan-parse";
+      case Check::PlanVersion:          return "plan-version";
+      case Check::PlanHostMismatch:     return "plan-host-mismatch";
+      case Check::PlanNetworkMismatch:  return "plan-network-mismatch";
+      case Check::PlanUnknownLayer:     return "plan-unknown-layer";
     }
     return "?";
 }

@@ -57,6 +57,13 @@ enum class Check
     // Structure
     EmptyNetwork,   //!< nothing to run
     BadConfig,      //!< option-level problem (threads, input shape)
+
+    // Deployment-plan artifacts (src/tune)
+    PlanParse,           //!< plan JSON truncated / malformed
+    PlanVersion,         //!< plan_version this build cannot execute
+    PlanHostMismatch,    //!< tuned on a different host / CPU / ISA
+    PlanNetworkMismatch, //!< tuned for a different network
+    PlanUnknownLayer,    //!< plan names a layer the network lacks
 };
 
 /** Stable kebab-case name of a check code (used in CLI output). */

@@ -11,6 +11,41 @@ namespace dlis::analysis {
 
 namespace {
 
+/**
+ * The backend/format/algorithm capability rules for one standard
+ * convolution — shared by the net-wide verifier walk and the
+ * per-layer checkLayerExecution front end the auto-tuner uses.
+ */
+void
+convCapabilityDiags(const Conv2d &conv, Backend backend,
+                    ConvAlgo algo, std::vector<Diagnostic> &out)
+{
+    const WeightFormat fmt = conv.format();
+    const bool ocl = backend == Backend::OclHandTuned ||
+                     backend == Backend::OclGemmLib;
+    if (fmt == WeightFormat::Dense) {
+        const bool eligible =
+            conv.kernel() == 3 && conv.stride() == 1;
+        if (!eligible && algo == ConvAlgo::Winograd)
+            diag(out, Severity::Info, Check::WinogradInapplicable,
+                 conv.name(),
+                 "not 3x3 stride-1; falls back to direct");
+    } else {
+        if (ocl)
+            diag(out, Severity::Error, Check::UnsupportedFormat,
+                 conv.name(),
+                 std::string(backendName(backend)) +
+                     " backend has no " + weightFormatName(fmt) +
+                     " kernel (runtime would panic mid-run)");
+        else if (algo != ConvAlgo::Direct)
+            diag(out, Severity::Warning, Check::AlgoIgnored,
+                 conv.name(),
+                 std::string(weightFormatName(fmt)) +
+                     " weights dispatch the direct sparse kernel; "
+                     "the requested algorithm is ignored");
+    }
+}
+
 /** Walks a network symbolically, collecting diagnostics. */
 class NetworkVerifier
 {
@@ -120,32 +155,12 @@ class NetworkVerifier
         }
 
         const WeightFormat fmt = conv.format();
-        const bool ocl = opt_.backend == Backend::OclHandTuned ||
-                         opt_.backend == Backend::OclGemmLib;
         if (fmt == WeightFormat::Dense) {
             ++denseConvs_;
-            const bool eligible =
-                conv.kernel() == 3 && conv.stride() == 1;
-            if (eligible)
+            if (conv.kernel() == 3 && conv.stride() == 1)
                 ++winogradEligible_;
-            else if (opt_.convAlgo == ConvAlgo::Winograd)
-                diag(diags, Severity::Info,
-                     Check::WinogradInapplicable, conv.name(),
-                     "not 3x3 stride-1; falls back to direct");
-        } else {
-            if (ocl)
-                diag(diags, Severity::Error, Check::UnsupportedFormat,
-                     conv.name(),
-                     std::string(backendName(opt_.backend)) +
-                         " backend has no " + weightFormatName(fmt) +
-                         " kernel (runtime would panic mid-run)");
-            else if (opt_.convAlgo != ConvAlgo::Direct)
-                diag(diags, Severity::Warning, Check::AlgoIgnored,
-                     conv.name(),
-                     std::string(weightFormatName(fmt)) +
-                         " weights dispatch the direct sparse kernel; "
-                         "the requested algorithm is ignored");
         }
+        convCapabilityDiags(conv, opt_.backend, opt_.convAlgo, diags);
 
         if (fmt == WeightFormat::Csr) {
             const CsrFilterBank &bank = conv.csrWeight();
@@ -408,6 +423,25 @@ VerifyReport::str() const
         << count(Severity::Warning) << " warnings, "
         << count(Severity::Info) << " notes)";
     return oss.str();
+}
+
+std::vector<Diagnostic>
+checkLayerExecution(const Layer &layer, Backend backend, ConvAlgo algo)
+{
+    std::vector<Diagnostic> out;
+    if (const auto *conv = dynamic_cast<const Conv2d *>(&layer)) {
+        convCapabilityDiags(*conv, backend, algo, out);
+    } else if (const auto *block =
+                   dynamic_cast<const ResidualBlock *>(&layer)) {
+        convCapabilityDiags(block->conv1(), backend, algo, out);
+        convCapabilityDiags(block->conv2(), backend, algo, out);
+        if (const Conv2d *proj = block->projection())
+            convCapabilityDiags(*proj, backend, algo, out);
+    }
+    // Depthwise convolutions run the direct CPU kernel under every
+    // backend, linear layers route CSR through the CPU sparse kernel
+    // regardless of backend: no rule fires for them.
+    return out;
 }
 
 VerifyReport

@@ -75,6 +75,21 @@ struct VerifyReport
 VerifyReport verifyNetwork(const Network &net,
                            const VerifyOptions &options);
 
+/**
+ * Capability diagnostics for running ONE layer under (@p backend,
+ * @p algo): exactly the backend/format/algorithm rules verifyNetwork
+ * applies net-wide, scoped to a single layer. Residual blocks check
+ * every inner convolution. Error severity means the point would
+ * panic at runtime (e.g. sparse weights on an OpenCL backend);
+ * Warning/Info mean the point executes but not as requested (sparse
+ * weights pin the direct kernel, an ineligible geometry falls back
+ * from Winograd) — the per-layer auto-tuner uses this to drop
+ * illegal or duplicate candidate points before timing anything.
+ */
+std::vector<Diagnostic> checkLayerExecution(const Layer &layer,
+                                            Backend backend,
+                                            ConvAlgo algo);
+
 } // namespace dlis::analysis
 
 #endif // DLIS_ANALYSIS_VERIFIER_HPP

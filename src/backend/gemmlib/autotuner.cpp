@@ -1,8 +1,9 @@
 #include "backend/gemmlib/autotuner.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <vector>
+
+#include "tune/measure.hpp"
 
 namespace dlis::gemmlib {
 
@@ -59,15 +60,17 @@ timeConfig(const TuneConfig &config, size_t m, size_t k, size_t n,
     GemmLibrary lib(config);
     KernelPolicy policy; // tuner measures the single-threaded kernel
 
-    double best = 1e30;
-    for (size_t r = 0; r < reps; ++r) {
-        const auto t0 = std::chrono::steady_clock::now();
-        lib.gemm(a.data(), b.data(), c.data(), m, k, n, policy);
-        const auto t1 = std::chrono::steady_clock::now();
-        best = std::min(
-            best, std::chrono::duration<double>(t1 - t0).count());
-    }
-    return best;
+    // Shared deterministic harness (tune/measure.hpp): one warmup run
+    // primes caches and lazy state, then the median of `reps` timed
+    // runs — the same reduction every other timing loop in the repo
+    // uses (median resists one-sided scheduler noise; the old ad-hoc
+    // loop here took best-of with no warmup).
+    tune::MeasureOptions mo;
+    mo.warmup = 1;
+    mo.reps = reps;
+    return tune::measureMedianSeconds(
+        [&] { lib.gemm(a.data(), b.data(), c.data(), m, k, n, policy); },
+        mo);
 }
 
 } // namespace

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <unordered_map>
 
 #include "backend/conv_params.hpp"
 #include "backend/gemmlib/tuned_gemm.hpp"
@@ -59,6 +60,19 @@ enum class ConvAlgo
 /** Human-readable algorithm name. */
 const char *convAlgoName(ConvAlgo algo);
 
+/**
+ * One layer's {backend, algorithm, threads} override from a tuned
+ * DeploymentPlan (src/tune). Network::forward applies it for the
+ * named layer only; every other field of the surrounding ExecContext
+ * (arena, tracer, metrics, gemmLib, queue) is shared unchanged.
+ */
+struct LayerExecOverride
+{
+    Backend backend = Backend::Serial;
+    ConvAlgo convAlgo = ConvAlgo::Direct;
+    int threads = 1;
+};
+
 /** Execution state threaded through every layer's forward/backward. */
 struct ExecContext
 {
@@ -104,6 +118,17 @@ struct ExecContext
      * rides into kernels via KernelPolicy::traceFlowId.
      */
     uint64_t traceFlowId = 0;
+
+    /**
+     * Per-layer overrides from a tuned DeploymentPlan, keyed by
+     * top-level layer name (not owned; null = every layer runs the
+     * global config above). Network::forward consults this table and
+     * runs a matching layer under a context copy with the override's
+     * backend/algorithm/threads — the copy shares this context's
+     * arena, so the override path allocates nothing extra.
+     */
+    const std::unordered_map<std::string, LayerExecOverride>
+        *layerOverrides = nullptr;
 
     /** Threading policy handed to CPU kernels. */
     KernelPolicy

@@ -29,6 +29,32 @@ Network::eraseLayer(size_t i)
     layers_.erase(layers_.begin() + static_cast<ptrdiff_t>(i));
 }
 
+namespace {
+
+/**
+ * Forward @p layer under @p ctx, or — when a deployment plan bound to
+ * the context names this layer — under a context copy carrying the
+ * plan's backend/algorithm/threads. The copy shares the arena (a
+ * shared_ptr bump), so the override path stays allocation-free.
+ */
+Tensor
+forwardLayer(Layer &layer, const Tensor &x, ExecContext &ctx)
+{
+    if (ctx.layerOverrides) {
+        const auto it = ctx.layerOverrides->find(layer.name());
+        if (it != ctx.layerOverrides->end()) {
+            ExecContext lctx = ctx;
+            lctx.backend = it->second.backend;
+            lctx.convAlgo = it->second.convAlgo;
+            lctx.threads = it->second.threads;
+            return layer.forward(x, lctx);
+        }
+    }
+    return layer.forward(x, ctx);
+}
+
+} // namespace
+
 Tensor
 Network::forward(const Tensor &input, ExecContext &ctx)
 {
@@ -36,7 +62,7 @@ Network::forward(const Tensor &input, ExecContext &ctx)
     for (auto &layer : layers_) {
         obs::TraceSpan span(ctx.tracer, layer->name(), "layer",
                             ctx.traceFlowId);
-        x = layer->forward(x, ctx);
+        x = forwardLayer(*layer, x, ctx);
     }
     return x;
 }
@@ -52,7 +78,7 @@ Network::forwardProfiled(const Tensor &input, ExecContext &ctx,
         obs::TraceSpan span(ctx.tracer, layer->name(), "layer",
                             ctx.traceFlowId);
         const auto t0 = std::chrono::steady_clock::now();
-        x = layer->forward(x, ctx);
+        x = forwardLayer(*layer, x, ctx);
         const auto t1 = std::chrono::steady_clock::now();
         timings.push_back(
             {layer->name(),

@@ -84,6 +84,31 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
         throw RejectedError(RejectReason::BadConfig,
                             preflight.firstError());
 
+    // Plan pre-flight: a tuned per-layer plan must parse and must
+    // apply to THIS host and THIS network before any worker executes
+    // through it. Any defect — unreadable/corrupt JSON, stale schema
+    // version, foreign host fingerprint, different network, illegal
+    // per-layer point — rejects the whole deployment here; a bad plan
+    // is never partially applied.
+    if (!config_.planFile.empty() || config_.plan) {
+        try {
+            tune::DeploymentPlan plan =
+                config_.planFile.empty()
+                    ? *config_.plan
+                    : tune::loadPlanFile(config_.planFile);
+            const auto diags = tune::validatePlan(
+                plan, stack.model().net, stack.inputShape(1));
+            for (const analysis::Diagnostic &d : diags)
+                if (d.severity == analysis::Severity::Error)
+                    throw RejectedError(RejectReason::BadConfig,
+                                        d.str());
+            plan_ = std::make_unique<tune::DeploymentPlan>(
+                std::move(plan));
+        } catch (const tune::PlanError &e) {
+            throw RejectedError(RejectReason::BadConfig, e.what());
+        }
+    }
+
     if (!config_.startPaused)
         resume();
 }
@@ -302,6 +327,16 @@ InferenceEngine::workerLoop(size_t workerId)
     ctx.convAlgo = config_.convAlgo;
     ctx.metrics = metrics_;
     ctx.tracer = tracer_;
+
+    // When a tuned plan is deployed, every worker builds its OWN
+    // runtime from the validated copy: the runtime owns the mutable
+    // backend state the overridden layers need (GEMM library, command
+    // queue), which must not be shared across worker threads.
+    std::unique_ptr<tune::PlanRuntime> planRuntime;
+    if (plan_) {
+        planRuntime = std::make_unique<tune::PlanRuntime>(*plan_);
+        planRuntime->bind(ctx);
+    }
 
     // Registered once per worker at spawn (allocates); the per-batch
     // updates below are plain atomic stores.

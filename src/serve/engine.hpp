@@ -48,6 +48,7 @@
 #include "obs/registry.hpp"
 #include "obs/stats.hpp"
 #include "serve/request_queue.hpp"
+#include "tune/plan.hpp"
 
 namespace dlis {
 
@@ -105,6 +106,24 @@ struct ServeConfig
     Backend backend = Backend::Serial; //!< per-worker compute backend
     int threads = 1;                   //!< OpenMP threads per worker
     ConvAlgo convAlgo = ConvAlgo::Direct;
+
+    /**
+     * Tuned per-layer DeploymentPlan file to execute (""/unset = run
+     * the global backend/threads/convAlgo above). Loaded and
+     * validated in the constructor's pre-flight: a plan that cannot
+     * be parsed, was tuned on another host or for another network, or
+     * contains an illegal per-layer point throws
+     * RejectedError(BadConfig) before any worker spawns — a rejected
+     * plan is never partially applied.
+     */
+    std::string planFile;
+
+    /**
+     * In-memory plan alternative to planFile (not owned; must outlive
+     * the engine). planFile takes precedence when both are set. Same
+     * pre-flight validation.
+     */
+    const tune::DeploymentPlan *plan = nullptr;
 
     /**
      * Start with the worker pool idle; requests queue (and overflow
@@ -251,6 +270,13 @@ class InferenceEngine
 
     InferenceStack &stack_;
     const ServeConfig config_;
+    /**
+     * Validated copy of the deployment plan the pool executes (null =
+     * global config). Workers each build their own tune::PlanRuntime
+     * from it — the runtime owns per-thread backend state (GEMM
+     * library, command queue) that must not be shared across workers.
+     */
+    std::unique_ptr<tune::DeploymentPlan> plan_;
     obs::Metrics *metrics_;
     obs::Tracer *tracer_;
     std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;

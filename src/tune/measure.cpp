@@ -1,0 +1,56 @@
+#include "tune/measure.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "core/error.hpp"
+#include "obs/stats.hpp"
+
+namespace dlis::tune {
+
+double
+steadyClockSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+medianOf(std::vector<double> samples)
+{
+    return percentileOf(std::move(samples), 50.0);
+}
+
+double
+percentileOf(std::vector<double> samples, double q)
+{
+    DLIS_CHECK(!samples.empty(),
+               "percentile of an empty sample set");
+    std::sort(samples.begin(), samples.end());
+    return obs::percentile(samples, q);
+}
+
+double
+measureMedianSeconds(const std::function<void()> &body,
+                     const MeasureOptions &options)
+{
+    DLIS_CHECK(options.reps > 0, "measurement needs >= 1 repetition");
+    const ClockFn &clock =
+        options.clock ? options.clock : ClockFn(steadyClockSeconds);
+
+    for (size_t w = 0; w < options.warmup; ++w)
+        body();
+
+    std::vector<double> samples;
+    samples.reserve(options.reps);
+    for (size_t r = 0; r < options.reps; ++r) {
+        const double t0 = clock();
+        body();
+        const double t1 = clock();
+        samples.push_back(t1 - t0);
+    }
+    return medianOf(std::move(samples));
+}
+
+} // namespace dlis::tune

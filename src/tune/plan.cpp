@@ -1,0 +1,682 @@
+#include "tune/plan.hpp"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "analysis/verifier.hpp"
+#include "backend/simd/isa.hpp"
+
+namespace dlis::tune {
+
+const char *
+backendToken(Backend b)
+{
+    switch (b) {
+      case Backend::Serial:       return "serial";
+      case Backend::OpenMP:       return "openmp";
+      case Backend::OclHandTuned: return "opencl";
+      case Backend::OclGemmLib:   return "clblast";
+    }
+    return "?";
+}
+
+bool
+backendFromToken(const std::string &token, Backend &out)
+{
+    if (token == "serial") {
+        out = Backend::Serial;
+    } else if (token == "openmp") {
+        out = Backend::OpenMP;
+    } else if (token == "opencl") {
+        out = Backend::OclHandTuned;
+    } else if (token == "clblast") {
+        out = Backend::OclGemmLib;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+const char *
+algoToken(ConvAlgo algo)
+{
+    switch (algo) {
+      case ConvAlgo::Direct:     return "direct";
+      case ConvAlgo::Im2colGemm: return "im2col";
+      case ConvAlgo::Winograd:   return "winograd";
+    }
+    return "?";
+}
+
+bool
+algoFromToken(const std::string &token, ConvAlgo &out)
+{
+    if (token == "direct") {
+        out = ConvAlgo::Direct;
+    } else if (token == "im2col") {
+        out = ConvAlgo::Im2colGemm;
+    } else if (token == "winograd") {
+        out = ConvAlgo::Winograd;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+namespace {
+
+/** %.17g: shortest rendering that round-trips IEEE binary64. */
+std::string
+renderDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+/** Escape for a JSON string literal (plans only hold plain names). */
+std::string
+escapeJson(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** 64-bit FNV-1a accumulator for the structural signature. */
+struct Fnv1a
+{
+    uint64_t h = 1469598103934665603ULL;
+
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ULL;
+        }
+    }
+
+    void
+    str(const std::string &s)
+    {
+        bytes(s.data(), s.size());
+        bytes("\x1f", 1); // field separator
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    std::string
+    hex() const
+    {
+        char buf[24];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(h));
+        return buf;
+    }
+};
+
+// ---------------------------------------------------------------
+// Minimal recursive-descent JSON reader. Plans are small and the
+// repo takes no dependencies, so ~100 lines of parser beat a
+// library. Every defect throws PlanError(PlanParse) — parsing is
+// all-or-nothing, a corrupt plan is never partially applied.
+// ---------------------------------------------------------------
+
+struct JValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JValue> items;
+    std::vector<std::pair<std::string, JValue>> fields;
+
+    const JValue *
+    find(const std::string &key) const
+    {
+        for (const auto &f : fields)
+            if (f.first == key)
+                return &f.second;
+        return nullptr;
+    }
+};
+
+[[noreturn]] void
+parseFail(const std::string &what)
+{
+    throw PlanError(analysis::Check::PlanParse, what);
+}
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &src) : src_(src) {}
+
+    JValue
+    parse()
+    {
+        JValue v = value();
+        skipWs();
+        if (pos_ != src_.size())
+            parseFail("trailing bytes after the top-level value");
+        return v;
+    }
+
+  private:
+    const std::string &src_;
+    size_t pos_ = 0;
+
+    void
+    skipWs()
+    {
+        while (pos_ < src_.size() &&
+               std::isspace(static_cast<unsigned char>(src_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= src_.size())
+            parseFail("unexpected end of plan JSON");
+        return src_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            parseFail(std::string("expected '") + c + "' at byte " +
+                      std::to_string(pos_));
+        ++pos_;
+    }
+
+    JValue
+    value()
+    {
+        const char c = peek();
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't' || c == 'f')
+            return boolean();
+        if (c == 'n')
+            return null();
+        return number();
+    }
+
+    JValue
+    object()
+    {
+        expect('{');
+        JValue v;
+        v.kind = JValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            JValue key = string();
+            expect(':');
+            v.fields.emplace_back(std::move(key.text), value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}')
+                return v;
+            if (c != ',')
+                parseFail("expected ',' or '}' in object");
+        }
+    }
+
+    JValue
+    array()
+    {
+        expect('[');
+        JValue v;
+        v.kind = JValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']')
+                return v;
+            if (c != ',')
+                parseFail("expected ',' or ']' in array");
+        }
+    }
+
+    JValue
+    string()
+    {
+        expect('"');
+        JValue v;
+        v.kind = JValue::Kind::String;
+        while (pos_ < src_.size()) {
+            const char c = src_[pos_++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos_ >= src_.size())
+                    break;
+                const char esc = src_[pos_++];
+                if (esc == '"' || esc == '\\' || esc == '/')
+                    v.text.push_back(esc);
+                else if (esc == 'n')
+                    v.text.push_back('\n');
+                else if (esc == 't')
+                    v.text.push_back('\t');
+                else
+                    parseFail("unsupported string escape");
+            } else {
+                v.text.push_back(c);
+            }
+        }
+        parseFail("unterminated string");
+    }
+
+    JValue
+    boolean()
+    {
+        JValue v;
+        v.kind = JValue::Kind::Bool;
+        if (src_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (src_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+        } else {
+            parseFail("bad literal");
+        }
+        return v;
+    }
+
+    JValue
+    null()
+    {
+        if (src_.compare(pos_, 4, "null") != 0)
+            parseFail("bad literal");
+        pos_ += 4;
+        JValue v;
+        return v;
+    }
+
+    JValue
+    number()
+    {
+        skipWs();
+        const char *start = src_.c_str() + pos_;
+        char *end = nullptr;
+        const double d = std::strtod(start, &end);
+        if (end == start)
+            parseFail("expected a number at byte " +
+                      std::to_string(pos_));
+        pos_ += static_cast<size_t>(end - start);
+        JValue v;
+        v.kind = JValue::Kind::Number;
+        v.number = d;
+        return v;
+    }
+};
+
+// Typed field access: a plan with a missing or mistyped field is a
+// parse defect, reported with the field name.
+
+const JValue &
+field(const JValue &obj, const char *key, JValue::Kind kind)
+{
+    const JValue *v = obj.find(key);
+    if (!v)
+        parseFail(std::string("missing field '") + key + "'");
+    if (v->kind != kind)
+        parseFail(std::string("field '") + key +
+                  "' has the wrong type");
+    return *v;
+}
+
+std::string
+strField(const JValue &obj, const char *key)
+{
+    return field(obj, key, JValue::Kind::String).text;
+}
+
+double
+numField(const JValue &obj, const char *key)
+{
+    return field(obj, key, JValue::Kind::Number).number;
+}
+
+int
+intField(const JValue &obj, const char *key)
+{
+    const double d = numField(obj, key);
+    if (d != std::floor(d) || std::abs(d) > 1e9)
+        parseFail(std::string("field '") + key +
+                  "' is not a small integer");
+    return static_cast<int>(d);
+}
+
+Backend
+backendField(const JValue &obj, const char *key)
+{
+    Backend b{};
+    if (!backendFromToken(strField(obj, key), b))
+        parseFail(std::string("field '") + key +
+                  "' names no backend");
+    return b;
+}
+
+void
+renderLayer(std::ostringstream &oss, const LayerPlan &lp)
+{
+    oss << "    {\"layer\": \"" << escapeJson(lp.layer)
+        << "\", \"backend\": \"" << backendToken(lp.backend)
+        << "\", \"algo\": \"" << algoToken(lp.algo)
+        << "\", \"threads\": " << lp.threads
+        << ", \"measured_s\": " << renderDouble(lp.measuredSeconds)
+        << ", \"predicted_s\": " << renderDouble(lp.predictedSeconds)
+        << "}";
+}
+
+} // namespace
+
+PlanError::PlanError(analysis::Check code, const std::string &detail)
+    : std::runtime_error(std::string("deployment plan rejected [") +
+                         analysis::checkName(code) + "]: " + detail),
+      code_(code)
+{
+}
+
+std::string
+hostFingerprint()
+{
+    char host[256] = "unknown-host";
+    if (gethostname(host, sizeof(host)) != 0)
+        std::snprintf(host, sizeof(host), "unknown-host");
+    host[sizeof(host) - 1] = '\0';
+    std::ostringstream oss;
+    oss << host << "/cpu" << std::thread::hardware_concurrency()
+        << "/" << simd::isaName(simd::activeIsa());
+    return oss.str();
+}
+
+std::string
+networkSignature(const Network &net, const Shape &input)
+{
+    Fnv1a fnv;
+    fnv.str(input.str());
+    fnv.u64(net.size());
+    Shape cur = input;
+    for (const auto &layer : net.layers()) {
+        fnv.str(layer->name());
+        const LayerCost c = layer->cost(cur);
+        fnv.u64(c.denseMacs);
+        fnv.u64(c.macs);
+        fnv.u64(c.weightBytes);
+        fnv.u64(c.params);
+        fnv.u64(c.sparseRowVisits);
+        fnv.u64(c.sparseTraversal ? 1 : 0);
+        fnv.u64(c.packedTernary ? 1 : 0);
+        fnv.u64(c.gemmM);
+        fnv.u64(c.gemmK);
+        fnv.u64(c.gemmN);
+        cur = layer->outputShape(cur);
+        fnv.str(cur.str());
+    }
+    return fnv.hex();
+}
+
+std::string
+planToJson(const DeploymentPlan &plan)
+{
+    std::ostringstream oss;
+    oss << "{\n";
+    oss << "  \"plan_version\": " << plan.version << ",\n";
+    oss << "  \"model\": \"" << escapeJson(plan.model) << "\",\n";
+    oss << "  \"network_signature\": \""
+        << escapeJson(plan.networkSignature) << "\",\n";
+    oss << "  \"host_fingerprint\": \""
+        << escapeJson(plan.hostFingerprint) << "\",\n";
+    oss << "  \"seed\": " << plan.seed << ",\n";
+    oss << "  \"default_backend\": \""
+        << backendToken(plan.defaultBackend) << "\",\n";
+    oss << "  \"default_threads\": " << plan.defaultThreads << ",\n";
+    oss << "  \"tuned_p50_s\": " << renderDouble(plan.tunedP50)
+        << ",\n";
+    oss << "  \"best_global_p50_s\": "
+        << renderDouble(plan.bestGlobalP50) << ",\n";
+    oss << "  \"best_global_config\": \""
+        << escapeJson(plan.bestGlobalConfig) << "\",\n";
+    if (plan.layers.empty()) {
+        oss << "  \"layers\": []\n";
+    } else {
+        oss << "  \"layers\": [\n";
+        for (size_t i = 0; i < plan.layers.size(); ++i) {
+            renderLayer(oss, plan.layers[i]);
+            oss << (i + 1 < plan.layers.size() ? ",\n" : "\n");
+        }
+        oss << "  ]\n";
+    }
+    oss << "}\n";
+    return oss.str();
+}
+
+DeploymentPlan
+planFromJson(const std::string &json)
+{
+    const JValue root = JsonReader(json).parse();
+    if (root.kind != JValue::Kind::Object)
+        parseFail("top-level value is not an object");
+
+    DeploymentPlan plan;
+    plan.version = intField(root, "plan_version");
+    plan.model = strField(root, "model");
+    plan.networkSignature = strField(root, "network_signature");
+    plan.hostFingerprint = strField(root, "host_fingerprint");
+    const double seed = numField(root, "seed");
+    if (seed < 0 || seed != std::floor(seed))
+        parseFail("field 'seed' is not a non-negative integer");
+    plan.seed = static_cast<uint64_t>(seed);
+    plan.defaultBackend = backendField(root, "default_backend");
+    plan.defaultThreads = intField(root, "default_threads");
+    plan.tunedP50 = numField(root, "tuned_p50_s");
+    plan.bestGlobalP50 = numField(root, "best_global_p50_s");
+    plan.bestGlobalConfig = strField(root, "best_global_config");
+
+    const JValue &layers = field(root, "layers", JValue::Kind::Array);
+    plan.layers.reserve(layers.items.size());
+    for (const JValue &item : layers.items) {
+        if (item.kind != JValue::Kind::Object)
+            parseFail("layer entry is not an object");
+        LayerPlan lp;
+        lp.layer = strField(item, "layer");
+        lp.backend = backendField(item, "backend");
+        if (!algoFromToken(strField(item, "algo"), lp.algo))
+            parseFail("field 'algo' names no algorithm");
+        lp.threads = intField(item, "threads");
+        lp.measuredSeconds = numField(item, "measured_s");
+        lp.predictedSeconds = numField(item, "predicted_s");
+        plan.layers.push_back(std::move(lp));
+    }
+    return plan;
+}
+
+DeploymentPlan
+loadPlanFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        parseFail("cannot read plan file " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return planFromJson(buf.str());
+}
+
+void
+savePlanFile(const DeploymentPlan &plan, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw PlanError(analysis::Check::BadConfig,
+                        "cannot write plan file " + path);
+    out << planToJson(plan);
+    out.flush();
+    if (!out)
+        throw PlanError(analysis::Check::BadConfig,
+                        "short write to plan file " + path);
+}
+
+std::string
+planCacheFile(const std::string &dir, const std::string &model,
+              const std::string &hostFp, const std::string &signature)
+{
+    Fnv1a fnv;
+    fnv.str(hostFp);
+    fnv.str(signature);
+    return dir + "/" + model + "-" + fnv.hex() + ".plan.json";
+}
+
+std::vector<analysis::Diagnostic>
+validatePlan(const DeploymentPlan &plan, const Network &net,
+             const Shape &input, const std::string &hostFp)
+{
+    using analysis::Check;
+    using analysis::Severity;
+    std::vector<analysis::Diagnostic> out;
+
+    if (plan.version != kPlanVersion)
+        analysis::diag(out, Severity::Error, Check::PlanVersion, "",
+                       "plan_version " +
+                           std::to_string(plan.version) +
+                           " is not the supported version " +
+                           std::to_string(kPlanVersion) +
+                           "; re-run --tune");
+    if (plan.hostFingerprint != hostFp)
+        analysis::diag(out, Severity::Error, Check::PlanHostMismatch,
+                       "",
+                       "plan was tuned on '" + plan.hostFingerprint +
+                           "' but this host is '" + hostFp +
+                           "'; measured choices do not transfer");
+    const std::string sig = networkSignature(net, input);
+    if (plan.networkSignature != sig)
+        analysis::diag(out, Severity::Error,
+                       Check::PlanNetworkMismatch, "",
+                       "plan signature " + plan.networkSignature +
+                           " does not match this network (" + sig +
+                           "); model, width, format or input differ");
+    if (plan.defaultBackend != Backend::Serial &&
+        plan.defaultBackend != Backend::OpenMP)
+        analysis::diag(out, Severity::Error, Check::BadConfig, "",
+                       "default_backend must be a CPU backend");
+    if (plan.defaultThreads < 1)
+        analysis::diag(out, Severity::Error, Check::BadConfig, "",
+                       "default_threads must be >= 1");
+
+    std::unordered_map<std::string, const Layer *> byName;
+    for (const auto &layer : net.layers())
+        byName.emplace(layer->name(), layer.get());
+
+    std::unordered_map<std::string, int> seen;
+    for (const LayerPlan &lp : plan.layers) {
+        if (++seen[lp.layer] > 1) {
+            analysis::diag(out, Severity::Error, Check::BadConfig,
+                           lp.layer,
+                           "plan lists this layer more than once");
+            continue;
+        }
+        if (lp.threads < 1) {
+            analysis::diag(out, Severity::Error, Check::BadConfig,
+                           lp.layer, "threads must be >= 1");
+            continue;
+        }
+        const auto it = byName.find(lp.layer);
+        if (it == byName.end()) {
+            analysis::diag(out, Severity::Error,
+                           Check::PlanUnknownLayer, lp.layer,
+                           "network has no layer of this name");
+            continue;
+        }
+        // Capability rules: an Error here (e.g. sparse weights on an
+        // OpenCL backend) would panic a worker mid-request.
+        for (analysis::Diagnostic &d : analysis::checkLayerExecution(
+                 *it->second, lp.backend, lp.algo))
+            out.push_back(std::move(d));
+    }
+    return out;
+}
+
+std::vector<analysis::Diagnostic>
+validatePlan(const DeploymentPlan &plan, const Network &net,
+             const Shape &input)
+{
+    return validatePlan(plan, net, input, hostFingerprint());
+}
+
+PlanRuntime::PlanRuntime(const DeploymentPlan &plan)
+    : defaultBackend_(plan.defaultBackend),
+      defaultThreads_(plan.defaultThreads)
+{
+    bool needsGemmLib = false;
+    bool needsQueue = false;
+    for (const LayerPlan &lp : plan.layers) {
+        overrides_[lp.layer] =
+            LayerExecOverride{lp.backend, lp.algo, lp.threads};
+        needsGemmLib |= lp.backend == Backend::OclGemmLib;
+        needsQueue |= lp.backend == Backend::OclHandTuned;
+    }
+    if (needsGemmLib)
+        gemmLib_ = std::make_unique<gemmlib::GemmLibrary>();
+    if (needsQueue)
+        queue_ = std::make_unique<oclsim::CommandQueue>();
+}
+
+void
+PlanRuntime::bind(ExecContext &ctx)
+{
+    ctx.backend = defaultBackend_;
+    ctx.threads = defaultThreads_;
+    ctx.convAlgo = ConvAlgo::Direct;
+    ctx.layerOverrides = &overrides_;
+    if (gemmLib_)
+        ctx.gemmLib = gemmLib_.get();
+    if (queue_)
+        ctx.queue = queue_.get();
+}
+
+} // namespace dlis::tune

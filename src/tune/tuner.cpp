@@ -1,0 +1,494 @@
+#include "tune/tuner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <numeric>
+
+#include "analysis/verifier.hpp"
+#include "core/error.hpp"
+#include "hw/cost_model.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/depthwise_conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/residual_block.hpp"
+#include "stack/inference_stack.hpp"
+
+namespace dlis::tune {
+
+namespace {
+
+enum class LayerKind
+{
+    Conv,      //!< standard Conv2d
+    Depthwise, //!< DepthwiseConv2d (direct CPU kernel everywhere)
+    Fc,        //!< Linear
+    Block,     //!< ResidualBlock, tuned as one unit
+};
+
+/** One layer the tuner searches, with its geometry and cost facts. */
+struct TunableLayer
+{
+    Layer *layer = nullptr;
+    LayerKind kind = LayerKind::Conv;
+    Shape input;
+    bool sparse = false; //!< any inner weight in a non-dense format
+    /** True when a Winograd point differs from the Direct point. */
+    bool winogradDistinct = false;
+    std::vector<LayerCost> costs; //!< facts at `input` (block: stages)
+};
+
+bool
+convSparse(const Conv2d &conv)
+{
+    return conv.format() != WeightFormat::Dense;
+}
+
+bool
+convWinogradEligible(const Conv2d &conv)
+{
+    return conv.kernel() == 3 && conv.stride() == 1;
+}
+
+/** Walk @p net, collecting the layers the tuner searches. */
+std::vector<TunableLayer>
+collectTunable(Network &net, const Shape &input)
+{
+    std::vector<TunableLayer> out;
+    Shape cur = input;
+    for (const auto &ptr : net.layers()) {
+        Layer *layer = ptr.get();
+        TunableLayer tl;
+        tl.layer = layer;
+        tl.input = cur;
+        if (auto *conv = dynamic_cast<Conv2d *>(layer)) {
+            tl.kind = LayerKind::Conv;
+            tl.sparse = convSparse(*conv);
+            tl.winogradDistinct =
+                !tl.sparse && convWinogradEligible(*conv);
+            tl.costs = {conv->cost(cur)};
+            out.push_back(std::move(tl));
+        } else if (dynamic_cast<DepthwiseConv2d *>(layer)) {
+            tl.kind = LayerKind::Depthwise;
+            tl.costs = {layer->cost(cur)};
+            out.push_back(std::move(tl));
+        } else if (auto *fc = dynamic_cast<Linear *>(layer)) {
+            tl.kind = LayerKind::Fc;
+            tl.sparse = fc->format() != WeightFormat::Dense;
+            tl.costs = {fc->cost(cur)};
+            out.push_back(std::move(tl));
+        } else if (auto *block =
+                       dynamic_cast<ResidualBlock *>(layer)) {
+            tl.kind = LayerKind::Block;
+            tl.sparse = convSparse(block->conv1()) ||
+                        convSparse(block->conv2()) ||
+                        (block->projection() &&
+                         convSparse(*block->projection()));
+            tl.winogradDistinct =
+                !tl.sparse &&
+                (convWinogradEligible(block->conv1()) ||
+                 convWinogradEligible(block->conv2()));
+            tl.costs = block->stageCosts(cur);
+            out.push_back(std::move(tl));
+        }
+        cur = layer->outputShape(cur);
+    }
+    return out;
+}
+
+/**
+ * Enumerate the canonical candidate grid of one layer. The grid only
+ * contains distinct executions: sparse weights pin the direct kernel
+ * (so only Direct appears), Winograd appears only where it actually
+ * engages, the OpenCL backends appear with the one algorithm each
+ * runs, and OpenMP x 1 thread (identical to Serial) is skipped.
+ */
+std::vector<CandidatePoint>
+enumerateCandidates(const TunableLayer &tl, const TuneOptions &options)
+{
+    const bool convLike =
+        tl.kind == LayerKind::Conv || tl.kind == LayerKind::Block;
+
+    std::vector<ConvAlgo> cpuAlgos = {ConvAlgo::Direct};
+    if (convLike && !tl.sparse) {
+        cpuAlgos.push_back(ConvAlgo::Im2colGemm);
+        if (tl.winogradDistinct)
+            cpuAlgos.push_back(ConvAlgo::Winograd);
+    }
+
+    std::vector<CandidatePoint> grid;
+    for (ConvAlgo algo : cpuAlgos)
+        grid.push_back({Backend::Serial, algo, 1, 0.0, 0.0, false});
+    for (int t : options.threadCandidates) {
+        if (t <= 1)
+            continue; // OpenMP x 1 duplicates Serial
+        for (ConvAlgo algo : cpuAlgos)
+            grid.push_back(
+                {Backend::OpenMP, algo, t, 0.0, 0.0, false});
+    }
+    if (convLike && !tl.sparse) {
+        grid.push_back({Backend::OclHandTuned, ConvAlgo::Direct, 1,
+                        0.0, 0.0, false});
+        grid.push_back({Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1,
+                        0.0, 0.0, false});
+    }
+    if (tl.kind == LayerKind::Fc && !tl.sparse)
+        grid.push_back({Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1,
+                        0.0, 0.0, false});
+
+    // Capability gate: a candidate the verifier rejects would panic
+    // mid-measurement — drop it before anything is timed. The grid
+    // above is built not to generate illegal points, but the verifier
+    // owns the rules; enforcement stays here if they ever diverge.
+    std::vector<CandidatePoint> legal;
+    for (const CandidatePoint &cp : grid) {
+        const auto diags = analysis::checkLayerExecution(
+            *tl.layer, cp.backend, cp.algo);
+        const bool bad = std::any_of(
+            diags.begin(), diags.end(), [](const auto &d) {
+                return d.severity == analysis::Severity::Error;
+            });
+        if (!bad)
+            legal.push_back(cp);
+    }
+    return legal;
+}
+
+/** Cost-model seed of one candidate on the configured device. */
+double
+predictSeconds(const CostModel &model,
+               const std::vector<LayerCost> &costs,
+               const CandidatePoint &cp)
+{
+    // A device without a GPU model cannot price the simulated OpenCL
+    // backends; infinity sorts those candidates last, so they only
+    // get measured when topK exceeds the priceable grid.
+    const bool gpuPriced = model.device().gpu.has_value();
+    switch (cp.backend) {
+      case Backend::Serial:
+        return model.estimateCpu(costs, 1).total();
+      case Backend::OpenMP:
+        return model.estimateCpu(costs, cp.threads).total();
+      case Backend::OclHandTuned:
+        return gpuPriced
+                   ? model.estimateOclHandTuned(costs).total()
+                   : std::numeric_limits<double>::infinity();
+      case Backend::OclGemmLib:
+        return gpuPriced
+                   ? model.estimateOclGemmLib(costs).total()
+                   : std::numeric_limits<double>::infinity();
+    }
+    return std::numeric_limits<double>::infinity();
+}
+
+/**
+ * The canonical candidate a whole-network global configuration
+ * {@p b, @p a, @p t} resolves to at @p tl — the dispatch rules of the
+ * runtime collapsed onto the enumerated grid (sparse pins direct, an
+ * OpenCL backend fixes its algorithm, non-conv layers run the CPU
+ * kernel under the OpenCL backends, OpenMP x 1 is Serial).
+ */
+CandidatePoint
+effectivePoint(const TunableLayer &tl, Backend b, ConvAlgo a, int t)
+{
+    const bool convLike =
+        tl.kind == LayerKind::Conv || tl.kind == LayerKind::Block;
+    if (convLike && !tl.sparse) {
+        if (b == Backend::OclHandTuned)
+            return {Backend::OclHandTuned, ConvAlgo::Direct, 1, 0.0,
+                    0.0, false};
+        if (b == Backend::OclGemmLib)
+            return {Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1, 0.0,
+                    0.0, false};
+        ConvAlgo algo = a;
+        if (a == ConvAlgo::Winograd && !tl.winogradDistinct)
+            algo = ConvAlgo::Direct;
+        const int threads = b == Backend::OpenMP ? t : 1;
+        return {threads > 1 ? Backend::OpenMP : Backend::Serial, algo,
+                threads, 0.0, 0.0, false};
+    }
+    if (tl.kind == LayerKind::Fc && !tl.sparse &&
+        b == Backend::OclGemmLib)
+        return {Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1, 0.0,
+                0.0, false};
+    const int threads = b == Backend::OpenMP ? t : 1;
+    return {threads > 1 ? Backend::OpenMP : Backend::Serial,
+            ConvAlgo::Direct, threads, 0.0, 0.0, false};
+}
+
+/** Score of @p tl under the candidate key: measured when available. */
+double
+layerScore(const LayerSearch &search, const CandidatePoint &key)
+{
+    for (const CandidatePoint &cp : search.candidates)
+        if (cp.backend == key.backend && cp.algo == key.algo &&
+            cp.threads == key.threads)
+            return cp.measured ? cp.measuredSeconds
+                               : cp.predictedSeconds;
+    DLIS_CHECK(false, "tuner: global config resolves to a point ",
+               "missing from layer '", search.layer, "' grid");
+    return std::numeric_limits<double>::infinity();
+}
+
+/** One whole-network configuration the tuned plan competes against. */
+struct GlobalSpec
+{
+    Backend backend = Backend::Serial;
+    ConvAlgo algo = ConvAlgo::Direct;
+    int threads = 1;
+};
+
+std::string
+globalSpecName(const GlobalSpec &spec)
+{
+    return std::string(backendToken(spec.backend)) + "/" +
+           algoToken(spec.algo) + "/t" + std::to_string(spec.threads);
+}
+
+std::vector<GlobalSpec>
+enumerateGlobals(const Network &net, const Shape &input,
+                 const TuneOptions &options)
+{
+    std::vector<GlobalSpec> specs;
+    const ConvAlgo algos[] = {ConvAlgo::Direct, ConvAlgo::Im2colGemm,
+                              ConvAlgo::Winograd};
+    for (ConvAlgo algo : algos)
+        specs.push_back({Backend::Serial, algo, 1});
+    for (int t : options.threadCandidates) {
+        if (t <= 1)
+            continue;
+        for (ConvAlgo algo : algos)
+            specs.push_back({Backend::OpenMP, algo, t});
+    }
+    specs.push_back({Backend::OclHandTuned, ConvAlgo::Direct, 1});
+    specs.push_back({Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1});
+
+    std::vector<GlobalSpec> legal;
+    for (const GlobalSpec &spec : specs) {
+        analysis::VerifyOptions vopts;
+        vopts.input = input;
+        vopts.backend = spec.backend;
+        vopts.convAlgo = spec.algo;
+        vopts.threads = spec.threads;
+        vopts.estimateMemory = false;
+        if (analysis::verifyNetwork(net, vopts).ok())
+            legal.push_back(spec);
+    }
+    return legal;
+}
+
+/** Median e2e seconds of a forward under @p ctx (shared harness). */
+double
+measureForward(Network &net, const Tensor &input, ExecContext &ctx,
+               const TuneOptions &options)
+{
+    MeasureOptions mo;
+    mo.warmup = options.warmup;
+    mo.reps = options.reps;
+    mo.clock = options.clock;
+    return measureMedianSeconds(
+        [&] { (void)net.forward(input, ctx); }, mo);
+}
+
+} // namespace
+
+DeploymentPlan
+tunePlan(InferenceStack &stack, const TuneOptions &options,
+         std::vector<LayerSearch> *audit)
+{
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+    const CostModel model(options.device);
+
+    // Shared measurement state: one arena (steady-state, no kernel
+    // heap allocations after warmup), one simulated queue and GEMM
+    // library for the OpenCL-backed candidates.
+    gemmlib::GemmLibrary gemmLib;
+    oclsim::CommandQueue queue;
+    ExecContext mctx;
+    mctx.queue = &queue;
+    mctx.gemmLib = &gemmLib;
+
+    MeasureOptions mo;
+    mo.warmup = options.warmup;
+    mo.reps = options.reps;
+    mo.clock = options.clock;
+
+    std::vector<TunableLayer> tunable = collectTunable(net, input);
+    std::vector<LayerSearch> searches;
+    searches.reserve(tunable.size());
+
+    DeploymentPlan plan;
+    plan.model = stack.config().modelName;
+    plan.networkSignature = networkSignature(net, input);
+    plan.hostFingerprint = hostFingerprint();
+    plan.seed = options.seed;
+
+    for (size_t li = 0; li < tunable.size(); ++li) {
+        TunableLayer &tl = tunable[li];
+        LayerSearch search;
+        search.layer = tl.layer->name();
+        search.candidates = enumerateCandidates(tl, options);
+        for (CandidatePoint &cp : search.candidates)
+            cp.predictedSeconds = predictSeconds(model, tl.costs, cp);
+
+        // Stage 2: cost-model prune. Stable order on ties keeps the
+        // search deterministic (the model cannot split CPU algorithms;
+        // measurement does).
+        std::vector<size_t> order(search.candidates.size());
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return search.candidates[a]
+                                        .predictedSeconds <
+                                    search.candidates[b]
+                                        .predictedSeconds;
+                         });
+        if (order.size() > options.topK)
+            order.resize(options.topK);
+
+        // Stage 3: measure the survivors on the real geometry with a
+        // per-layer deterministic input.
+        Rng rng(options.seed, li + 1);
+        Tensor layerInput(tl.input);
+        layerInput.fillUniform(rng, -1.0f, 1.0f);
+        for (size_t idx : order) {
+            CandidatePoint &cp = search.candidates[idx];
+            mctx.backend = cp.backend;
+            mctx.convAlgo = cp.algo;
+            mctx.threads = cp.threads;
+            cp.measuredSeconds = measureMedianSeconds(
+                [&] { (void)tl.layer->forward(layerInput, mctx); },
+                mo);
+            cp.measured = true;
+        }
+
+        const CandidatePoint *best = nullptr;
+        for (const CandidatePoint &cp : search.candidates)
+            if (cp.measured &&
+                (!best || cp.measuredSeconds < best->measuredSeconds))
+                best = &cp;
+        DLIS_CHECK(best, "tuner: layer '", search.layer,
+                   "' has no measurable candidate");
+
+        search.winner.layer = search.layer;
+        search.winner.backend = best->backend;
+        search.winner.algo = best->algo;
+        search.winner.threads = best->threads;
+        search.winner.measuredSeconds = best->measuredSeconds;
+        // An unpriceable candidate (no GPU model) carries an infinite
+        // prediction; record 0 so the plan JSON stays parseable.
+        search.winner.predictedSeconds =
+            std::isfinite(best->predictedSeconds)
+                ? best->predictedSeconds
+                : 0.0;
+        plan.layers.push_back(search.winner);
+        searches.push_back(std::move(search));
+    }
+
+    // Base config for the non-tuned layers: join the parallel loop
+    // iff some winner did, at the widest width a winner chose.
+    plan.defaultBackend = Backend::Serial;
+    plan.defaultThreads = 1;
+    for (const LayerPlan &lp : plan.layers)
+        if (lp.backend == Backend::OpenMP &&
+            lp.threads > plan.defaultThreads) {
+            plan.defaultBackend = Backend::OpenMP;
+            plan.defaultThreads = lp.threads;
+        }
+
+    // The competition: best single global {backend, algo, threads},
+    // scored from the same per-layer samples so the comparison is
+    // apples-to-apples, then (optionally) both measured end-to-end.
+    const std::vector<GlobalSpec> globals =
+        enumerateGlobals(net, input, options);
+    DLIS_CHECK(!globals.empty(),
+               "tuner: no legal global configuration");
+    const GlobalSpec *bestGlobal = nullptr;
+    double bestGlobalScore =
+        std::numeric_limits<double>::infinity();
+    for (const GlobalSpec &spec : globals) {
+        double score = 0.0;
+        for (const LayerSearch &search : searches) {
+            const TunableLayer &tl = tunable[&search - &searches[0]];
+            score += layerScore(
+                search, effectivePoint(tl, spec.backend, spec.algo,
+                                       spec.threads));
+        }
+        if (score < bestGlobalScore) {
+            bestGlobalScore = score;
+            bestGlobal = &spec;
+        }
+    }
+    plan.bestGlobalConfig = globalSpecName(*bestGlobal);
+
+    double tunedScore = 0.0;
+    for (const LayerPlan &lp : plan.layers)
+        tunedScore += lp.measuredSeconds;
+
+    if (options.measureEndToEnd) {
+        Rng rng(options.seed, 0);
+        Tensor netInput(input);
+        netInput.fillUniform(rng, -1.0f, 1.0f);
+
+        PlanRuntime runtime(plan);
+        ExecContext tunedCtx;
+        runtime.bind(tunedCtx);
+        plan.tunedP50 =
+            measureForward(net, netInput, tunedCtx, options);
+
+        ExecContext globalCtx;
+        globalCtx.backend = bestGlobal->backend;
+        globalCtx.convAlgo = bestGlobal->algo;
+        globalCtx.threads = bestGlobal->threads;
+        globalCtx.queue = &queue;
+        globalCtx.gemmLib = &gemmLib;
+        plan.bestGlobalP50 =
+            measureForward(net, netInput, globalCtx, options);
+    } else {
+        plan.tunedP50 = tunedScore;
+        plan.bestGlobalP50 = bestGlobalScore;
+    }
+
+    if (audit)
+        *audit = std::move(searches);
+    return plan;
+}
+
+TuneOutcome
+tuneOrLoadPlan(InferenceStack &stack, const TuneOptions &options,
+               const std::string &cacheDir)
+{
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+    const std::string fp = hostFingerprint();
+    const std::string sig = networkSignature(net, input);
+    const std::string path =
+        planCacheFile(cacheDir, stack.config().modelName, fp, sig);
+
+    if (std::filesystem::exists(path)) {
+        try {
+            DeploymentPlan cached = loadPlanFile(path);
+            const auto diags = validatePlan(cached, net, input, fp);
+            const bool clean = std::none_of(
+                diags.begin(), diags.end(), [](const auto &d) {
+                    return d.severity == analysis::Severity::Error;
+                });
+            if (clean)
+                return {std::move(cached), true, path};
+        } catch (const PlanError &) {
+            // unreadable cache entry: fall through and retune
+        }
+    }
+
+    TuneOutcome outcome;
+    outcome.plan = tunePlan(stack, options);
+    outcome.cacheHit = false;
+    outcome.path = path;
+    std::filesystem::create_directories(cacheDir);
+    savePlanFile(outcome.plan, path);
+    return outcome;
+}
+
+} // namespace dlis::tune

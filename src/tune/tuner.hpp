@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-layer deployment auto-tuner.
+ *
+ * For every tunable layer of a built InferenceStack (standard,
+ * depthwise and residual-block convolutions, linear layers) the tuner
+ * searches the cross-stack deployment space the paper characterises —
+ * algorithm (direct / im2col / Winograd / format-pinned sparse) x
+ * backend (serial / OpenMP / simulated OpenCL hand-tuned / simulated
+ * GEMM library) x thread count — and emits the fastest point per
+ * layer as a DeploymentPlan.
+ *
+ * The search is staged the way the paper's Fig 6 motivates:
+ *
+ *  1. enumerate only LEGAL candidates — the analysis verifier's
+ *     capability rules (checkLayerExecution) gate the grid, so a point
+ *     that would panic (sparse weights on an OpenCL backend) or
+ *     duplicate another point (Winograd on an ineligible geometry,
+ *     im2col on CSR weights) is never timed;
+ *  2. seed with the src/hw cost model and keep only the topK
+ *     candidates per layer, pruning the grid before any measurement;
+ *  3. refine by measuring the survivors on the real layer geometry
+ *     with the shared warmup+median-of-k harness (tune/measure.hpp) —
+ *     the same loop the GEMM-library auto-tuner runs, lifted to whole
+ *     layers. An injected ClockFn makes the whole search replayable.
+ *
+ * Because per-layer winners differ (the paper's core observation: the
+ * best configuration is not fixed across a network — depthwise layers
+ * hate fork/join, 1x1 convolutions hate CSR, big convolutions love
+ * the GEMM library), the emitted plan routinely beats the best single
+ * global configuration, which tunePlan also identifies and records in
+ * the plan for comparison.
+ */
+
+#ifndef DLIS_TUNE_TUNER_HPP
+#define DLIS_TUNE_TUNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "hw/device.hpp"
+#include "tune/measure.hpp"
+#include "tune/plan.hpp"
+
+namespace dlis {
+class InferenceStack;
+} // namespace dlis
+
+namespace dlis::tune {
+
+/** Search budget and determinism knobs. */
+struct TuneOptions
+{
+    /** OpenMP thread counts to try (1 is implicit via Serial). */
+    std::vector<int> threadCandidates = {2, 4};
+    size_t warmup = 1; //!< untimed runs before each measurement
+    size_t reps = 5;   //!< timed runs per candidate (median taken)
+    size_t topK = 8;   //!< cost-model survivors measured per layer
+    uint64_t seed = 42; //!< measurement-input seed (recorded in plan)
+    ClockFn clock;      //!< null = steady clock; tests inject one
+
+    /**
+     * Measure the tuned plan and the best global configuration
+     * end-to-end (median of reps full forwards) to fill the plan's
+     * tunedP50/bestGlobalP50. When false both are the sum of the
+     * per-layer scores instead (cheaper; used by unit tests).
+     */
+    bool measureEndToEnd = true;
+
+    /** Device the cost-model seeding stage prices candidates on. */
+    DeviceModel device = intelCoreI7();
+};
+
+/** One enumerated point of a layer's search space. */
+struct CandidatePoint
+{
+    Backend backend = Backend::Serial;
+    ConvAlgo algo = ConvAlgo::Direct;
+    int threads = 1;
+    double predictedSeconds = 0.0; //!< cost-model seed
+    double measuredSeconds = 0.0;  //!< valid when measured
+    bool measured = false;         //!< survived the topK prune
+};
+
+/** Audit record of one layer's search (for reporting and tests). */
+struct LayerSearch
+{
+    std::string layer;
+    std::vector<CandidatePoint> candidates; //!< enumeration order
+    LayerPlan winner;
+};
+
+/** A tuned (or cache-loaded) plan plus where it lives. */
+struct TuneOutcome
+{
+    DeploymentPlan plan;
+    bool cacheHit = false; //!< true = loaded, search skipped
+    std::string path;      //!< cache file the plan lives at
+};
+
+/**
+ * Run the staged search over every tunable layer of @p stack and
+ * return the winning plan. @p audit, when non-null, receives one
+ * LayerSearch per tunable layer. Deterministic for a fixed options
+ * struct whenever options.clock is.
+ */
+DeploymentPlan tunePlan(InferenceStack &stack,
+                        const TuneOptions &options,
+                        std::vector<LayerSearch> *audit = nullptr);
+
+/**
+ * Load the cached plan for @p stack from @p cacheDir when one exists
+ * and validates cleanly against this host and network (cacheHit);
+ * otherwise run tunePlan and save the result there. The cache file
+ * name covers host fingerprint + network signature, so a foreign or
+ * stale plan is never picked up — it simply misses.
+ */
+TuneOutcome tuneOrLoadPlan(InferenceStack &stack,
+                           const TuneOptions &options,
+                           const std::string &cacheDir);
+
+} // namespace dlis::tune
+
+#endif // DLIS_TUNE_TUNER_HPP

@@ -1,0 +1,865 @@
+/**
+ * @file
+ * Plan-equivalence harness for the per-layer deployment auto-tuner
+ * (src/tune). Four hazards a searched-then-cached configuration can
+ * hide, each pinned here:
+ *
+ *  - wrong answers: executing a tuner-emitted (or hand-built mixed)
+ *    plan must produce outputs identical to the equivalent
+ *    fixed-config forwards — bitwise when the plan only changes
+ *    thread counts, within the backend-parity tolerance when it
+ *    changes algorithm or backend;
+ *  - unstable artifacts: the canonical JSON must round-trip
+ *    byte-identically (golden file) and the whole search must replay
+ *    exactly under an injected clock;
+ *  - silent misapplication: a stale version, foreign host, foreign
+ *    network, unknown layer, or corrupt file must be rejected with
+ *    its stable diagnostic code — and never partially applied;
+ *  - serving drift: the engine pre-flight must refuse every such
+ *    plan with RejectedError(BadConfig), and execute a valid one
+ *    identically to a direct plan-bound forward.
+ *
+ * The whole binary also runs env-pinned under DLIS_FORCE_ISA=scalar
+ * (test_tune_scalar), proving the harness and the tuner's choices are
+ * ISA-independent for a fixed clock stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "backend/gemmlib/tuned_gemm.hpp"
+#include "backend/oclsim/ndrange.hpp"
+#include "core/rng.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/network.hpp"
+#include "serve/engine.hpp"
+#include "stack/inference_stack.hpp"
+#include "test_helpers.hpp"
+#include "tune/measure.hpp"
+#include "tune/plan.hpp"
+#include "tune/tuner.hpp"
+
+namespace dlis {
+namespace {
+
+/** Backend-parity tolerance for cross-algorithm comparisons. */
+constexpr float kTol = 1e-4f;
+
+/** |a-b| <= tol * max(1, |a|, |b|) elementwise (parity-test idiom). */
+void
+expectRelClose(const Tensor &a, const Tensor &b, float tol,
+               const std::string &what)
+{
+    ASSERT_EQ(a.shape().dims(), b.shape().dims()) << what;
+    for (size_t i = 0; i < a.numel(); ++i) {
+        const float scale = std::max(
+            1.0f, std::max(std::abs(a.data()[i]),
+                           std::abs(b.data()[i])));
+        EXPECT_NEAR(a.data()[i], b.data()[i], tol * scale)
+            << what << " diverges at flat index " << i;
+    }
+}
+
+/** Deterministic fake clock: each call advances a fixed step. */
+tune::ClockFn
+makeFakeClock(double step = 1e-3)
+{
+    auto t = std::make_shared<double>(0.0);
+    return [t, step] {
+        *t += step;
+        return *t;
+    };
+}
+
+InferenceStack
+makeStack(const std::string &model)
+{
+    StackConfig config;
+    config.modelName = model;
+    config.widthMult = 0.25;
+    return InferenceStack(config);
+}
+
+/** Cheap deterministic tuner budget for the functional tests. */
+tune::TuneOptions
+fastOptions()
+{
+    tune::TuneOptions options;
+    options.threadCandidates = {2};
+    options.warmup = 0;
+    options.reps = 1;
+    options.topK = 2;
+    options.measureEndToEnd = false;
+    options.clock = makeFakeClock();
+    return options;
+}
+
+/**
+ * Reference execution of @p plan WITHOUT the plan machinery: walk the
+ * network layer by layer, building a fixed ExecContext per layer that
+ * spells out exactly what the plan promises that layer runs under.
+ */
+Tensor
+forwardManually(Network &net, const tune::DeploymentPlan &plan,
+                const Tensor &input)
+{
+    gemmlib::GemmLibrary gemmLib;
+    oclsim::CommandQueue queue;
+    Tensor x = input;
+    for (const auto &layer : net.layers()) {
+        ExecContext ctx;
+        ctx.backend = plan.defaultBackend;
+        ctx.threads = plan.defaultThreads;
+        for (const tune::LayerPlan &lp : plan.layers)
+            if (lp.layer == layer->name()) {
+                ctx.backend = lp.backend;
+                ctx.convAlgo = lp.algo;
+                ctx.threads = lp.threads;
+                break;
+            }
+        ctx.gemmLib = &gemmLib;
+        ctx.queue = &queue;
+        x = layer->forward(x, ctx);
+    }
+    return x;
+}
+
+/** Plan-driven forward through the PlanRuntime override path. */
+Tensor
+forwardWithPlan(Network &net, const tune::DeploymentPlan &plan,
+                const Tensor &input)
+{
+    tune::PlanRuntime runtime(plan);
+    ExecContext ctx;
+    runtime.bind(ctx);
+    return net.forward(input, ctx);
+}
+
+bool
+hasError(const std::vector<analysis::Diagnostic> &diags,
+         analysis::Check check)
+{
+    for (const analysis::Diagnostic &d : diags)
+        if (d.severity == analysis::Severity::Error &&
+            d.check == check)
+            return true;
+    return false;
+}
+
+bool
+anyError(const std::vector<analysis::Diagnostic> &diags)
+{
+    for (const analysis::Diagnostic &d : diags)
+        if (d.severity == analysis::Severity::Error)
+            return true;
+    return false;
+}
+
+/** A plan skeleton that validates cleanly against @p stack. */
+tune::DeploymentPlan
+emptyValidPlan(InferenceStack &stack)
+{
+    tune::DeploymentPlan plan;
+    plan.model = stack.config().modelName;
+    plan.hostFingerprint = tune::hostFingerprint();
+    plan.networkSignature = tune::networkSignature(
+        stack.model().net, stack.inputShape(1));
+    return plan;
+}
+
+// ---------------------------------------------------------------- //
+// Shared measurement harness                                       //
+// ---------------------------------------------------------------- //
+
+TEST(Measure, MedianAndPercentile)
+{
+    EXPECT_DOUBLE_EQ(2.0, tune::medianOf({3.0, 1.0, 2.0}));
+    EXPECT_DOUBLE_EQ(2.5, tune::medianOf({4.0, 1.0, 3.0, 2.0}));
+    EXPECT_DOUBLE_EQ(7.0, tune::medianOf({7.0}));
+    // Linear interpolation between ranks (obs::percentile).
+    EXPECT_DOUBLE_EQ(
+        40.0,
+        tune::percentileOf({50.0, 10.0, 40.0, 20.0, 30.0}, 75.0));
+    EXPECT_DOUBLE_EQ(1.0,
+                     tune::percentileOf({3.0, 1.0, 2.0}, 0.0));
+    EXPECT_DOUBLE_EQ(3.0,
+                     tune::percentileOf({3.0, 1.0, 2.0}, 100.0));
+}
+
+TEST(Measure, WarmupIsUntimedAndMedianIsOverReps)
+{
+    size_t bodyCalls = 0;
+    size_t clockCalls = 0;
+    tune::MeasureOptions options;
+    options.warmup = 2;
+    options.reps = 3;
+    options.clock = [&clockCalls] {
+        ++clockCalls;
+        return static_cast<double>(clockCalls) * 1e-3;
+    };
+    const double median = tune::measureMedianSeconds(
+        [&bodyCalls] { ++bodyCalls; }, options);
+
+    EXPECT_EQ(5u, bodyCalls);  // warmup + reps
+    EXPECT_EQ(6u, clockCalls); // two reads per timed rep only
+    EXPECT_DOUBLE_EQ(1e-3, median);
+}
+
+TEST(Measure, DefaultClockMeasuresSomethingFinite)
+{
+    tune::MeasureOptions options;
+    options.warmup = 0;
+    options.reps = 3;
+    const double s = tune::measureMedianSeconds([] {}, options);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+}
+
+// ---------------------------------------------------------------- //
+// Tuner determinism                                                //
+// ---------------------------------------------------------------- //
+
+TEST(Tuner, RepeatedSearchEmitsByteIdenticalPlan)
+{
+    InferenceStack stack = makeStack("mobilenet");
+
+    tune::TuneOptions a = fastOptions();
+    tune::TuneOptions b = fastOptions(); // fresh clock, same stream
+    const std::string first = tune::planToJson(tunePlan(stack, a));
+    const std::string second = tune::planToJson(tunePlan(stack, b));
+    EXPECT_EQ(first, second);
+}
+
+TEST(Tuner, AuditCoversEveryTunableLayerAndWinnersAreMeasured)
+{
+    InferenceStack stack = makeStack("mobilenet");
+    tune::TuneOptions options = fastOptions();
+    std::vector<tune::LayerSearch> audit;
+    const tune::DeploymentPlan plan =
+        tunePlan(stack, options, &audit);
+
+    // MobileNet at width 0.25: stem + 13 dw + 13 pw + fc = 28.
+    EXPECT_EQ(28u, plan.layers.size());
+    ASSERT_EQ(plan.layers.size(), audit.size());
+    for (size_t i = 0; i < audit.size(); ++i) {
+        EXPECT_EQ(plan.layers[i].layer, audit[i].layer);
+        EXPECT_FALSE(audit[i].candidates.empty());
+        size_t measured = 0;
+        for (const tune::CandidatePoint &c : audit[i].candidates)
+            measured += c.measured ? 1 : 0;
+        EXPECT_GE(measured, 1u) << audit[i].layer;
+        EXPECT_LE(measured, options.topK) << audit[i].layer;
+    }
+    // The emitted plan validates cleanly against its own network.
+    EXPECT_FALSE(anyError(tune::validatePlan(
+        plan, stack.model().net, stack.inputShape(1))));
+}
+
+TEST(Tuner, DepthwiseLayersNeverGetGemmBackends)
+{
+    // The capability gate must keep illegal points out of the grid:
+    // depthwise convolutions only have a direct CPU kernel.
+    InferenceStack stack = makeStack("mobilenet");
+    std::vector<tune::LayerSearch> audit;
+    tunePlan(stack, fastOptions(), &audit);
+    for (const tune::LayerSearch &search : audit) {
+        if (search.layer.rfind("dw", 0) != 0)
+            continue;
+        for (const tune::CandidatePoint &c : search.candidates) {
+            EXPECT_TRUE(c.backend == Backend::Serial ||
+                        c.backend == Backend::OpenMP)
+                << search.layer;
+            EXPECT_EQ(ConvAlgo::Direct, c.algo) << search.layer;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Plan equivalence: plan-driven forward == fixed-config forwards   //
+// ---------------------------------------------------------------- //
+
+TEST(PlanEquivalence, TunerEmittedPlanMatchesManualExecution)
+{
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        InferenceStack stack = makeStack(model);
+        const tune::DeploymentPlan plan =
+            tunePlan(stack, fastOptions());
+
+        const Tensor input =
+            test::randomTensor(stack.inputShape(1), 20180923);
+        const Tensor viaPlan =
+            forwardWithPlan(stack.model().net, plan, input);
+        const Tensor manual =
+            forwardManually(stack.model().net, plan, input);
+
+        // Same per-layer configuration executed with and without the
+        // override machinery: bitwise identical.
+        EXPECT_TRUE(viaPlan == manual) << model;
+
+        // And against a plain serial/direct forward the usual
+        // cross-algorithm parity tolerance holds.
+        ExecContext ref;
+        expectRelClose(stack.model().net.forward(input, ref),
+                       viaPlan, kTol, model);
+    }
+}
+
+TEST(PlanEquivalence, ThreadsOnlyPlanIsBitwiseExact)
+{
+    // A plan that only moves layers onto more threads (same direct
+    // algorithm) must not change a single bit: the OpenMP kernels
+    // partition whole output elements across threads.
+    for (const char *model : {"resnet18", "mobilenet"}) {
+        InferenceStack stack = makeStack(model);
+        tune::DeploymentPlan plan = emptyValidPlan(stack);
+        plan.defaultBackend = Backend::OpenMP;
+        plan.defaultThreads = 2;
+        for (const auto &layer : stack.model().net.layers()) {
+            tune::LayerPlan lp;
+            lp.layer = layer->name();
+            lp.backend = Backend::OpenMP;
+            lp.algo = ConvAlgo::Direct;
+            lp.threads = 3;
+            plan.layers.push_back(lp);
+        }
+        ASSERT_FALSE(anyError(tune::validatePlan(
+            plan, stack.model().net, stack.inputShape(1))));
+
+        const Tensor input =
+            test::randomTensor(stack.inputShape(1), 7);
+        ExecContext serial;
+        const Tensor ref =
+            stack.model().net.forward(input, serial);
+        const Tensor tuned =
+            forwardWithPlan(stack.model().net, plan, input);
+        EXPECT_TRUE(ref == tuned) << model;
+    }
+}
+
+TEST(PlanEquivalence, MixedPlanAdjacentLayersOnDifferentBackends)
+{
+    // The issue's core differential: adjacent layers running under
+    // different algorithm/backend combinations in ONE forward.
+    InferenceStack stack = makeStack("vgg16");
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+
+    const struct
+    {
+        const char *layer;
+        Backend backend;
+        ConvAlgo algo;
+        int threads;
+    } picks[] = {
+        {"conv1", Backend::OpenMP, ConvAlgo::Im2colGemm, 2},
+        {"conv2", Backend::Serial, ConvAlgo::Winograd, 1},
+        {"conv3", Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1},
+        {"conv4", Backend::OclHandTuned, ConvAlgo::Direct, 1},
+        {"conv5", Backend::Serial, ConvAlgo::Direct, 1},
+        {"fc1", Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1},
+        {"fc2", Backend::OpenMP, ConvAlgo::Direct, 4},
+    };
+    for (const auto &p : picks) {
+        tune::LayerPlan lp;
+        lp.layer = p.layer;
+        lp.backend = p.backend;
+        lp.algo = p.algo;
+        lp.threads = p.threads;
+        plan.layers.push_back(lp);
+    }
+    ASSERT_FALSE(anyError(tune::validatePlan(
+        plan, stack.model().net, stack.inputShape(1))));
+
+    const Tensor input = test::randomTensor(stack.inputShape(1), 11);
+    const Tensor viaPlan =
+        forwardWithPlan(stack.model().net, plan, input);
+    const Tensor manual =
+        forwardManually(stack.model().net, plan, input);
+    expectRelClose(manual, viaPlan, kTol, "vgg16 mixed plan");
+
+    ExecContext serial;
+    expectRelClose(stack.model().net.forward(input, serial), viaPlan,
+                   kTol, "vgg16 mixed plan vs serial/direct");
+}
+
+TEST(PlanEquivalence, RandomisedConvChainGeometries)
+{
+    // Random conv-chain networks with hand-built mixed plans: the
+    // equivalence must hold for geometries nobody curated.
+    const Backend backends[] = {Backend::Serial, Backend::OpenMP,
+                                Backend::OclGemmLib};
+    const ConvAlgo algos[] = {ConvAlgo::Direct, ConvAlgo::Im2colGemm,
+                              ConvAlgo::Winograd};
+
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        Rng rng(seed);
+        Network net("randnet");
+        size_t cin = 1 + rng.uniformInt(3);
+        const size_t firstCin = cin;
+        const size_t side = 9 + rng.uniformInt(8);
+        tune::DeploymentPlan plan;
+        plan.model = "randnet";
+
+        for (int li = 0; li < 3; ++li) {
+            const size_t cout = 1 + rng.uniformInt(6);
+            const size_t kernel = 1 + 2 * rng.uniformInt(2); // 1 or 3
+            const size_t stride = 1 + rng.uniformInt(2);
+            auto *conv = net.emplace<Conv2d>(
+                "c" + std::to_string(li), cin, cout, kernel, stride,
+                kernel / 2);
+            conv->initKaiming(rng);
+            cin = cout;
+
+            tune::LayerPlan lp;
+            lp.layer = conv->name();
+            lp.backend = backends[rng.uniformInt(3)];
+            lp.algo = lp.backend == Backend::OclGemmLib
+                          ? ConvAlgo::Im2colGemm
+                          : algos[rng.uniformInt(3)];
+            lp.threads = lp.backend == Backend::OpenMP
+                             ? 2 + static_cast<int>(rng.uniformInt(3))
+                             : 1;
+            plan.layers.push_back(lp);
+        }
+
+        const Shape realInput({1, firstCin, side, side});
+        plan.networkSignature =
+            tune::networkSignature(net, realInput);
+        plan.hostFingerprint = tune::hostFingerprint();
+        ASSERT_FALSE(anyError(
+            tune::validatePlan(plan, net, realInput)))
+            << "seed " << seed;
+
+        const Tensor input = test::randomTensor(realInput, seed);
+        const Tensor viaPlan = forwardWithPlan(net, plan, input);
+        const Tensor manual = forwardManually(net, plan, input);
+        expectRelClose(manual, viaPlan, kTol,
+                       "randnet seed " + std::to_string(seed));
+
+        ExecContext serial;
+        expectRelClose(net.forward(input, serial), viaPlan, kTol,
+                       "randnet vs serial seed " +
+                           std::to_string(seed));
+    }
+}
+
+// ---------------------------------------------------------------- //
+// Canonical serialization: golden file + round-trip stability      //
+// ---------------------------------------------------------------- //
+
+const char *const kGoldenPlan = R"({
+  "plan_version": 1,
+  "model": "vgg16",
+  "network_signature": "00000000deadbeef",
+  "host_fingerprint": "golden-host/cpu8/avx2",
+  "seed": 7,
+  "default_backend": "openmp",
+  "default_threads": 4,
+  "tuned_p50_s": 0.03125,
+  "best_global_p50_s": 0.046875,
+  "best_global_config": "openmp/im2col/t4",
+  "layers": [
+    {"layer": "conv1", "backend": "openmp", "algo": "im2col", "threads": 4, "measured_s": 0.001953125, "predicted_s": 0.00390625},
+    {"layer": "conv2", "backend": "serial", "algo": "winograd", "threads": 1, "measured_s": 0.0078125, "predicted_s": 0.015625},
+    {"layer": "fc1", "backend": "clblast", "algo": "im2col", "threads": 1, "measured_s": 0.5, "predicted_s": 2}
+  ]
+}
+)";
+
+tune::DeploymentPlan
+goldenPlan()
+{
+    tune::DeploymentPlan plan;
+    plan.model = "vgg16";
+    plan.networkSignature = "00000000deadbeef";
+    plan.hostFingerprint = "golden-host/cpu8/avx2";
+    plan.seed = 7;
+    plan.defaultBackend = Backend::OpenMP;
+    plan.defaultThreads = 4;
+    plan.tunedP50 = 0.03125;
+    plan.bestGlobalP50 = 0.046875;
+    plan.bestGlobalConfig = "openmp/im2col/t4";
+    plan.layers = {
+        {"conv1", Backend::OpenMP, ConvAlgo::Im2colGemm, 4,
+         0.001953125, 0.00390625},
+        {"conv2", Backend::Serial, ConvAlgo::Winograd, 1, 0.0078125,
+         0.015625},
+        {"fc1", Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1, 0.5,
+         2.0},
+    };
+    return plan;
+}
+
+TEST(PlanFile, GoldenRenderingIsByteStable)
+{
+    EXPECT_EQ(kGoldenPlan, tune::planToJson(goldenPlan()));
+}
+
+TEST(PlanFile, ParseRenderRoundTripIsIdentity)
+{
+    const tune::DeploymentPlan parsed =
+        tune::planFromJson(kGoldenPlan);
+    EXPECT_EQ(kGoldenPlan, tune::planToJson(parsed));
+
+    // And once more through the file layer.
+    const std::string dir = "test_tune_roundtrip";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/golden.plan.json";
+    tune::savePlanFile(parsed, path);
+    EXPECT_EQ(kGoldenPlan,
+              tune::planToJson(tune::loadPlanFile(path)));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(PlanFile, ParsedFieldsSurviveTheTrip)
+{
+    const tune::DeploymentPlan p = tune::planFromJson(kGoldenPlan);
+    EXPECT_EQ(1, p.version);
+    EXPECT_EQ("vgg16", p.model);
+    EXPECT_EQ(7u, p.seed);
+    EXPECT_EQ(Backend::OpenMP, p.defaultBackend);
+    EXPECT_EQ(4, p.defaultThreads);
+    ASSERT_EQ(3u, p.layers.size());
+    EXPECT_EQ(Backend::OclGemmLib, p.layers[2].backend);
+    EXPECT_EQ(ConvAlgo::Winograd, p.layers[1].algo);
+    EXPECT_DOUBLE_EQ(0.001953125, p.layers[0].measuredSeconds);
+}
+
+// ---------------------------------------------------------------- //
+// Rejection: stable codes, all-or-nothing parsing                  //
+// ---------------------------------------------------------------- //
+
+void
+expectPlanError(const std::string &json, analysis::Check code)
+{
+    try {
+        (void)tune::planFromJson(json);
+        FAIL() << "expected PlanError ["
+               << analysis::checkName(code) << "]";
+    } catch (const tune::PlanError &e) {
+        EXPECT_EQ(code, e.code()) << e.what();
+    }
+}
+
+TEST(PlanReject, TruncatedJsonNeverPartiallyApplies)
+{
+    const std::string golden = kGoldenPlan;
+    // Every strict prefix must fail with PlanParse — a truncation can
+    // land anywhere when a copy or write is cut short.
+    for (size_t cut : {1ul, golden.size() / 4, golden.size() / 2,
+                       golden.size() - 3}) {
+        expectPlanError(golden.substr(0, cut),
+                        analysis::Check::PlanParse);
+    }
+}
+
+TEST(PlanReject, HandCorruptedJson)
+{
+    std::string bad = kGoldenPlan;
+    const auto swap = [&bad](const std::string &from,
+                             const std::string &to) {
+        const size_t at = bad.find(from);
+        ASSERT_NE(std::string::npos, at);
+        bad.replace(at, from.size(), to);
+    };
+    // Type mismatch: threads as a string.
+    swap("\"threads\": 4,", "\"threads\": \"four\",");
+    expectPlanError(bad, analysis::Check::PlanParse);
+
+    // Unknown backend token.
+    bad = kGoldenPlan;
+    swap("\"openmp\"", "\"cuda\"");
+    expectPlanError(bad, analysis::Check::PlanParse);
+
+    // Trailing garbage after the document.
+    expectPlanError(std::string(kGoldenPlan) + "{}",
+                    analysis::Check::PlanParse);
+
+    // Not JSON at all / empty.
+    expectPlanError("", analysis::Check::PlanParse);
+    expectPlanError("not a plan", analysis::Check::PlanParse);
+}
+
+TEST(PlanReject, MissingFile)
+{
+    try {
+        (void)tune::loadPlanFile("test_tune_no_such_file.plan.json");
+        FAIL() << "expected PlanError";
+    } catch (const tune::PlanError &e) {
+        EXPECT_EQ(analysis::Check::PlanParse, e.code());
+    }
+}
+
+TEST(PlanReject, ValidationCodesAreStable)
+{
+    InferenceStack stack = makeStack("mobilenet");
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+    const tune::DeploymentPlan valid = emptyValidPlan(stack);
+    ASSERT_FALSE(anyError(tune::validatePlan(valid, net, input)));
+
+    // Stale schema version.
+    tune::DeploymentPlan plan = valid;
+    plan.version = tune::kPlanVersion + 1;
+    EXPECT_TRUE(hasError(tune::validatePlan(plan, net, input),
+                         analysis::Check::PlanVersion));
+
+    // Foreign host fingerprint.
+    plan = valid;
+    plan.hostFingerprint = "elsewhere/cpu1/scalar";
+    EXPECT_TRUE(hasError(tune::validatePlan(plan, net, input),
+                         analysis::Check::PlanHostMismatch));
+
+    // Foreign network signature.
+    plan = valid;
+    plan.networkSignature = "ffffffffffffffff";
+    EXPECT_TRUE(hasError(tune::validatePlan(plan, net, input),
+                         analysis::Check::PlanNetworkMismatch));
+
+    // Layer the network does not have.
+    plan = valid;
+    plan.layers.push_back({"no_such_layer", Backend::Serial,
+                           ConvAlgo::Direct, 1, 0.0, 0.0});
+    EXPECT_TRUE(hasError(tune::validatePlan(plan, net, input),
+                         analysis::Check::PlanUnknownLayer));
+
+    // Nonsense thread count.
+    plan = valid;
+    plan.layers.push_back(
+        {"stem", Backend::OpenMP, ConvAlgo::Direct, 0, 0.0, 0.0});
+    EXPECT_TRUE(anyError(tune::validatePlan(plan, net, input)));
+
+    // Duplicate layer entry.
+    plan = valid;
+    plan.layers.push_back(
+        {"stem", Backend::Serial, ConvAlgo::Direct, 1, 0.0, 0.0});
+    plan.layers.push_back(
+        {"stem", Backend::OpenMP, ConvAlgo::Direct, 2, 0.0, 0.0});
+    EXPECT_TRUE(anyError(tune::validatePlan(plan, net, input)));
+}
+
+TEST(PlanReject, IllegalPointOnSparseWeightsIsAnError)
+{
+    // CSR weights cannot run on the simulated OpenCL backends; a plan
+    // claiming otherwise must be rejected, not timed or executed.
+    StackConfig config;
+    config.modelName = "vgg16";
+    config.widthMult = 0.25;
+    config.technique = Technique::WeightPruning;
+    config.wpSparsity = 0.8;
+    config.format = WeightFormat::Csr;
+    InferenceStack stack{config};
+
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.layers.push_back({"conv1", Backend::OclGemmLib,
+                           ConvAlgo::Im2colGemm, 1, 0.0, 0.0});
+    EXPECT_TRUE(anyError(tune::validatePlan(
+        plan, stack.model().net, stack.inputShape(1))));
+}
+
+// ---------------------------------------------------------------- //
+// Plan cache                                                       //
+// ---------------------------------------------------------------- //
+
+TEST(PlanCache, MissSearchesHitSkips)
+{
+    InferenceStack stack = makeStack("mobilenet");
+    const std::string dir = "test_tune_cache";
+    std::filesystem::remove_all(dir);
+
+    const tune::TuneOutcome first =
+        tuneOrLoadPlan(stack, fastOptions(), dir);
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_TRUE(std::filesystem::exists(first.path));
+
+    const tune::TuneOutcome second =
+        tuneOrLoadPlan(stack, fastOptions(), dir);
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_EQ(first.path, second.path);
+    EXPECT_EQ(tune::planToJson(first.plan),
+              tune::planToJson(second.plan));
+
+    // A corrupt cache entry is a miss, not a crash: the tuner falls
+    // back to a fresh search and rewrites the file.
+    {
+        std::ofstream out(first.path, std::ios::trunc);
+        out << "{\"plan_version\": 1, truncated";
+    }
+    const tune::TuneOutcome third =
+        tuneOrLoadPlan(stack, fastOptions(), dir);
+    EXPECT_FALSE(third.cacheHit);
+    EXPECT_EQ(tune::planToJson(first.plan),
+              tune::planToJson(third.plan));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(PlanCache, FileNameSeparatesHostsAndNetworks)
+{
+    const std::string a =
+        tune::planCacheFile("d", "m", "hostA/cpu4/avx2", "sig1");
+    const std::string b =
+        tune::planCacheFile("d", "m", "hostB/cpu4/avx2", "sig1");
+    const std::string c =
+        tune::planCacheFile("d", "m", "hostA/cpu4/avx2", "sig2");
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(a, tune::planCacheFile("d", "m", "hostA/cpu4/avx2",
+                                     "sig1"));
+}
+
+// ---------------------------------------------------------------- //
+// Serve pre-flight                                                 //
+// ---------------------------------------------------------------- //
+
+void
+expectServeRejects(InferenceStack &stack,
+                   const serve::ServeConfig &config)
+{
+    try {
+        serve::InferenceEngine engine(stack, config);
+        FAIL() << "engine accepted a bad plan";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(serve::RejectReason::BadConfig, e.reason())
+            << e.what();
+    }
+}
+
+TEST(ServePlan, PreflightRejectsStaleForeignAndCorruptPlans)
+{
+    InferenceStack stack = makeStack("mobilenet");
+
+    // Stale schema version.
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.version = tune::kPlanVersion + 1;
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.plan = &plan;
+    expectServeRejects(stack, config);
+
+    // Foreign host.
+    plan = emptyValidPlan(stack);
+    plan.hostFingerprint = "elsewhere/cpu1/scalar";
+    expectServeRejects(stack, config);
+
+    // Foreign network.
+    plan = emptyValidPlan(stack);
+    plan.networkSignature = "ffffffffffffffff";
+    expectServeRejects(stack, config);
+
+    // Corrupt plan file on disk.
+    const std::string dir = "test_tune_serve";
+    std::filesystem::create_directories(dir);
+    const std::string path = dir + "/corrupt.plan.json";
+    {
+        std::ofstream out(path, std::ios::trunc);
+        out << "{\"plan_version\": 1,";
+    }
+    serve::ServeConfig fileConfig;
+    fileConfig.workers = 1;
+    fileConfig.planFile = path;
+    expectServeRejects(stack, fileConfig);
+
+    // Missing plan file.
+    fileConfig.planFile = dir + "/nope.plan.json";
+    expectServeRejects(stack, fileConfig);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ServePlan, ValidPlanServesIdenticallyToPlanBoundForward)
+{
+    InferenceStack stack = makeStack("mobilenet");
+
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.defaultBackend = Backend::OpenMP;
+    plan.defaultThreads = 2;
+    plan.layers.push_back(
+        {"stem", Backend::OpenMP, ConvAlgo::Im2colGemm, 2, 0.0, 0.0});
+    plan.layers.push_back(
+        {"fc", Backend::Serial, ConvAlgo::Direct, 1, 0.0, 0.0});
+    ASSERT_FALSE(anyError(tune::validatePlan(
+        plan, stack.model().net, stack.inputShape(1))));
+
+    const Tensor input = test::randomTensor(stack.inputShape(1), 5);
+    const Tensor expected =
+        forwardWithPlan(stack.model().net, plan, input);
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.maxBatch = 1;
+    config.plan = &plan;
+    serve::InferenceEngine engine(stack, config);
+    const Tensor served = engine.submit(input).get();
+    engine.shutdown();
+
+    EXPECT_TRUE(expected == served);
+}
+
+// ---------------------------------------------------------------- //
+// Identity helpers                                                 //
+// ---------------------------------------------------------------- //
+
+TEST(PlanIdentity, SignatureTracksStructureNotWeights)
+{
+    InferenceStack a = makeStack("mobilenet");
+    InferenceStack b = makeStack("mobilenet");
+    const std::string sigA = tune::networkSignature(
+        a.model().net, a.inputShape(1));
+    EXPECT_EQ(sigA, tune::networkSignature(b.model().net,
+                                           b.inputShape(1)));
+    // Batch size is part of what was tuned.
+    EXPECT_NE(sigA, tune::networkSignature(a.model().net,
+                                           a.inputShape(2)));
+    // A different width is a different network.
+    StackConfig wide;
+    wide.modelName = "mobilenet";
+    wide.widthMult = 0.5;
+    InferenceStack c{wide};
+    EXPECT_NE(sigA, tune::networkSignature(c.model().net,
+                                           c.inputShape(1)));
+}
+
+TEST(PlanIdentity, FingerprintNamesHostCpuAndIsa)
+{
+    const std::string fp = tune::hostFingerprint();
+    EXPECT_EQ(fp, tune::hostFingerprint()); // stable within a process
+    // "host/cpuN/isa" — two separators, cpu count present.
+    const size_t s1 = fp.find('/');
+    ASSERT_NE(std::string::npos, s1);
+    const size_t s2 = fp.find('/', s1 + 1);
+    ASSERT_NE(std::string::npos, s2);
+    EXPECT_EQ(0, fp.compare(s1 + 1, 3, "cpu"));
+    EXPECT_FALSE(fp.substr(s2 + 1).empty());
+}
+
+TEST(PlanIdentity, TokensRoundTrip)
+{
+    for (Backend b : {Backend::Serial, Backend::OpenMP,
+                      Backend::OclHandTuned, Backend::OclGemmLib}) {
+        Backend out;
+        ASSERT_TRUE(
+            tune::backendFromToken(tune::backendToken(b), out));
+        EXPECT_EQ(b, out);
+    }
+    for (ConvAlgo a : {ConvAlgo::Direct, ConvAlgo::Im2colGemm,
+                       ConvAlgo::Winograd}) {
+        ConvAlgo out;
+        ASSERT_TRUE(tune::algoFromToken(tune::algoToken(a), out));
+        EXPECT_EQ(a, out);
+    }
+    Backend b;
+    ConvAlgo a;
+    EXPECT_FALSE(tune::backendFromToken("cuda", b));
+    EXPECT_FALSE(tune::algoFromToken("fft", a));
+}
+
+} // namespace
+} // namespace dlis
