@@ -19,6 +19,26 @@
  *                                        capabilities, sparse formats,
  *                                        memory estimate) and exit;
  *                                        nonzero exit on any error
+ *             [--analyze]                numerical-safety analysis:
+ *                                        interval dataflow (per-layer
+ *                                        activation ranges, overflow /
+ *                                        non-finite / dead-output
+ *                                        findings) plus per-algorithm
+ *                                        worst-case error bounds and
+ *                                        their end-to-end composition;
+ *                                        nonzero exit on any error
+ *             [--json]                   with --analyze: emit the
+ *                                        machine-readable JSON report
+ *                                        instead of the human one
+ *             [--input-min <v>] [--input-max <v>]
+ *                                        declared input range the
+ *                                        interval pass starts from
+ *                                        (default [-1, 1])
+ *             [--error-budget <eps>]     with --analyze: warn when the
+ *                                        composed e2e bound exceeds
+ *                                        eps; with --tune: statically
+ *                                        exclude candidates whose
+ *                                        bound cannot meet eps
  *             [--trace <out.json>]       Chrome/Perfetto span trace
  *             [--metrics <out.json>]     expected-vs-actual report JSON
  *             [--window <seconds>]       additionally report forward
@@ -63,6 +83,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/analyzer.hpp"
 #include "analysis/verifier.hpp"
 #include "core/logging.hpp"
 #include "core/rng.hpp"
@@ -154,6 +175,36 @@ runVerify(InferenceStack &stack, const std::string &backend,
     return report.ok() ? 0 : 1;
 }
 
+/** --analyze mode: interval dataflow + error bounds, no run. */
+int
+runAnalyze(int argc, char **argv, InferenceStack &stack,
+           const std::string &backend, const std::string &algo,
+           int threads)
+{
+    analysis::AnalyzeOptions opts;
+    opts.input = stack.inputShape(1);
+    opts.backend = parseBackend(backend);
+    opts.convAlgo = parseConvAlgo(algo);
+    opts.threads = threads;
+    opts.inputRange = analysis::Interval{
+        std::stod(argValue(argc, argv, "--input-min", "-1")),
+        std::stod(argValue(argc, argv, "--input-max", "1"))};
+    opts.errorBudget =
+        std::stod(argValue(argc, argv, "--error-budget", "0"));
+
+    const analysis::AnalysisReport report =
+        analysis::analyzeNetwork(stack.model().net, opts);
+    if (hasFlag(argc, argv, "--json")) {
+        std::printf("%s\n", report.json().c_str());
+    } else {
+        std::printf("analyze: %s | %s | %s | input %s\n",
+                    stack.config().modelName.c_str(), backend.c_str(),
+                    algo.c_str(), opts.input.str().c_str());
+        std::printf("%s\n", report.str().c_str());
+    }
+    return report.ok() ? 0 : 1;
+}
+
 /** --serve-sim mode: open-loop replay through the serving engine. */
 int
 runServeSim(int argc, char **argv, InferenceStack &stack,
@@ -212,6 +263,8 @@ runTune(int argc, char **argv, InferenceStack &stack,
         std::stoul(argValue(argc, argv, "--tune-reps", "5")));
     opts.topK = static_cast<size_t>(
         std::stoul(argValue(argc, argv, "--tune-topk", "8")));
+    opts.errorBudget =
+        std::stod(argValue(argc, argv, "--error-budget", "0"));
     const std::string dir =
         argValue(argc, argv, "--plan-dir", "results/plans");
 
@@ -225,14 +278,24 @@ runTune(int argc, char **argv, InferenceStack &stack,
     TablePrinter table("per-layer deployment plan (" +
                        stack.config().modelName + ")");
     table.setHeader({"layer", "backend", "algo", "threads",
-                     "measured s", "predicted s"});
+                     "measured s", "predicted s", "err bound"});
     for (const tune::LayerPlan &lp : plan.layers)
         table.addRow({lp.layer, tune::backendToken(lp.backend),
                       tune::algoToken(lp.algo),
                       std::to_string(lp.threads),
                       fmtSig(lp.measuredSeconds),
-                      fmtSig(lp.predictedSeconds)});
+                      fmtSig(lp.predictedSeconds),
+                      fmtSig(lp.errorBound)});
     table.print();
+    if (plan.totalErrorBound > 0.0) {
+        std::printf("static e2e error bound %.6g", plan.totalErrorBound);
+        if (plan.errorBudget > 0.0)
+            std::printf(" | budget %.6g (%s)", plan.errorBudget,
+                        plan.totalErrorBound <= plan.errorBudget
+                            ? "met"
+                            : "EXCEEDED");
+        std::printf("\n");
+    }
 
     std::printf("tuned p50 %.6f s | best global (%s) %.6f s | "
                 "speedup %.2fx\n",
@@ -366,6 +429,11 @@ main(int argc, char **argv)
         return runVerify(stack, backend,
                          argValue(argc, argv, "--algo", "direct"),
                          threads);
+
+    if (hasFlag(argc, argv, "--analyze"))
+        return runAnalyze(argc, argv, stack, backend,
+                          argValue(argc, argv, "--algo", "direct"),
+                          threads);
 
     if (hasFlag(argc, argv, "--serve-sim"))
         return runServeSim(argc, argv, stack, backend, threads);

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The multi-pass numerical-safety analyzer: one driver over the
+ * structural verifier (verifier.hpp), the interval range pass
+ * (range_pass.hpp), and the composed error-bound model
+ * (error_bounds.hpp).
+ *
+ * `stack_cli --analyze` renders the report for humans or as JSON;
+ * the tuner consumes the NetworkErrorModel directly for its
+ * --error-budget candidate gate; the serving engine compares a
+ * plan's recorded bound against its configured budget at pre-flight.
+ */
+
+#ifndef DLIS_ANALYSIS_ANALYZER_HPP
+#define DLIS_ANALYSIS_ANALYZER_HPP
+
+#include "analysis/error_bounds.hpp"
+#include "analysis/verifier.hpp"
+
+namespace dlis::analysis {
+
+/** What to analyze the network against. */
+struct AnalyzeOptions
+{
+    Shape input;                      //!< NCHW input shape
+    Interval inputRange{-1.0, 1.0};   //!< declared per-element range
+    Backend backend = Backend::Serial;
+    ConvAlgo convAlgo = ConvAlgo::Direct;
+    int threads = 1;
+
+    /**
+     * End-to-end absolute-error budget; 0 disables the check. When
+     * the composed bound at the requested {backend, algo} exceeds
+     * it, an ErrorBudgetExceeded warning is emitted.
+     */
+    double errorBudget = 0.0;
+};
+
+/** Combined result of all passes. */
+struct AnalysisReport
+{
+    /** Verifier + range-pass + budget diagnostics, in pass order. */
+    std::vector<Diagnostic> diagnostics;
+
+    /** The composed per-unit/end-to-end error model. */
+    NetworkErrorModel model;
+
+    /** e2e bound at the requested {backend, algo} (model.complete). */
+    double e2eBound = 0.0;
+
+    /** The options the analysis ran under (echoed into reports). */
+    AnalyzeOptions options;
+
+    /** True when no Error-severity diagnostic was produced. */
+    bool ok() const;
+
+    size_t count(Severity severity) const;
+    bool has(Check c) const;
+
+    /** Human-readable multi-line report (ranges, bounds, verdict). */
+    std::string str() const;
+
+    /** Machine-readable JSON report. */
+    std::string json() const;
+};
+
+/**
+ * Run every static pass against @p net. Never executes a kernel and
+ * never throws on a malformed model — every defect becomes a
+ * Diagnostic.
+ */
+AnalysisReport analyzeNetwork(const Network &net,
+                              const AnalyzeOptions &options);
+
+} // namespace dlis::analysis
+
+#endif // DLIS_ANALYSIS_ANALYZER_HPP

@@ -1,5 +1,6 @@
 #include "analysis/diagnostic.hpp"
 
+#include <iterator>
 #include <sstream>
 
 namespace dlis::analysis {
@@ -15,35 +16,53 @@ severityName(Severity s)
     return "?";
 }
 
+/*
+ * Indexed by the Check enumerator value. The static_assert below pins
+ * the table to the Count_ sentinel: adding a Check without naming it
+ * here is a compile error, so checkName() can never lag the enum.
+ */
+static constexpr const char *kCheckNames[] = {
+    "bad-shape",
+    "channel-mismatch",
+    "spatial-underflow",
+    "pool-truncation",
+    "unsupported-format",
+    "algo-ignored",
+    "winograd-inapplicable",
+    "bad-row-ptr",
+    "unsorted-columns",
+    "column-out-of-range",
+    "size-mismatch",
+    "byte-accounting",
+    "bad-ternary-code",
+    "bad-ternary-scale",
+    "residual-add-mismatch",
+    "fold-bn-hazard",
+    "empty-network",
+    "bad-config",
+    "plan-parse",
+    "plan-version",
+    "plan-host-mismatch",
+    "plan-network-mismatch",
+    "plan-unknown-layer",
+    "duplicate-layer-name",
+    "non-finite-weight",
+    "activation-overflow",
+    "dead-output",
+    "error-budget-exceeded",
+};
+
+static_assert(std::size(kCheckNames) ==
+                  static_cast<size_t>(Check::Count_),
+              "kCheckNames must name every Check enumerator");
+
 const char *
 checkName(Check c)
 {
-    switch (c) {
-      case Check::BadShape:             return "bad-shape";
-      case Check::ChannelMismatch:      return "channel-mismatch";
-      case Check::SpatialUnderflow:     return "spatial-underflow";
-      case Check::PoolTruncation:       return "pool-truncation";
-      case Check::UnsupportedFormat:    return "unsupported-format";
-      case Check::AlgoIgnored:          return "algo-ignored";
-      case Check::WinogradInapplicable: return "winograd-inapplicable";
-      case Check::BadRowPtr:            return "bad-row-ptr";
-      case Check::UnsortedColumns:      return "unsorted-columns";
-      case Check::ColumnOutOfRange:     return "column-out-of-range";
-      case Check::SizeMismatch:         return "size-mismatch";
-      case Check::ByteAccounting:       return "byte-accounting";
-      case Check::BadTernaryCode:       return "bad-ternary-code";
-      case Check::BadTernaryScale:      return "bad-ternary-scale";
-      case Check::ResidualAddMismatch:  return "residual-add-mismatch";
-      case Check::FoldBnHazard:         return "fold-bn-hazard";
-      case Check::EmptyNetwork:         return "empty-network";
-      case Check::BadConfig:            return "bad-config";
-      case Check::PlanParse:            return "plan-parse";
-      case Check::PlanVersion:          return "plan-version";
-      case Check::PlanHostMismatch:     return "plan-host-mismatch";
-      case Check::PlanNetworkMismatch:  return "plan-network-mismatch";
-      case Check::PlanUnknownLayer:     return "plan-unknown-layer";
-    }
-    return "?";
+    const auto i = static_cast<size_t>(c);
+    if (i >= std::size(kCheckNames))
+        return "?";
+    return kCheckNames[i];
 }
 
 std::string

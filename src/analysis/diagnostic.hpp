@@ -64,6 +64,17 @@ enum class Check
     PlanHostMismatch,    //!< tuned on a different host / CPU / ISA
     PlanNetworkMismatch, //!< tuned for a different network
     PlanUnknownLayer,    //!< plan names a layer the network lacks
+
+    // Structure (addressability)
+    DuplicateLayerName, //!< two layers share a name; overrides alias
+
+    // Numerical safety (interval dataflow + error bounds)
+    NonFiniteWeight,     //!< NaN/Inf parameter (or negative BN var)
+    ActivationOverflow,  //!< activation interval exceeds float range
+    DeadOutput,          //!< ReLU output provably pinned <= 0
+    ErrorBudgetExceeded, //!< static error bound above the budget
+
+    Count_, //!< sentinel — keep last; sizes checkName()'s table
 };
 
 /** Stable kebab-case name of a check code (used in CLI output). */

@@ -1,0 +1,21 @@
+#include "analysis/interval.hpp"
+
+#include <cstdio>
+
+namespace dlis::analysis {
+
+std::string
+intervalStr(const Interval &iv)
+{
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "[%.6g, %.6g]", iv.lo, iv.hi);
+    return buf;
+}
+
+std::string
+Interval::str() const
+{
+    return intervalStr(*this);
+}
+
+} // namespace dlis::analysis

@@ -1,5 +1,6 @@
 #include "analysis/verifier.hpp"
 
+#include <set>
 #include <sstream>
 
 #include "analysis/sparse_checks.hpp"
@@ -68,6 +69,16 @@ class NetworkVerifier
         if (opt_.input.rank() == 4 && opt_.input.n() == 0)
             diag(diags, Severity::Error, Check::BadConfig, "",
                  "batch dimension is 0 in " + opt_.input.str());
+
+        // Layer names key DeploymentPlan overrides and --analyze
+        // report rows; a duplicate silently aliases both.
+        std::set<std::string> seen;
+        for (const auto &layer : net.layers())
+            if (!seen.insert(layer->name()).second)
+                diag(diags, Severity::Error, Check::DuplicateLayerName,
+                     layer->name(),
+                     "name is shared by an earlier layer; plan "
+                     "overrides and analysis reports would alias");
 
         Shape cur = opt_.input;
         for (const auto &layer : net.layers()) {

@@ -31,6 +31,7 @@ class BatchNorm2d : public Layer
     LayerCost cost(const Shape &input) const override;
 
     size_t channels() const { return channels_; }
+    float eps() const { return eps_; }
 
     /** @name Learnable and running statistics (per channel). */
     /** @{ */
@@ -38,6 +39,10 @@ class BatchNorm2d : public Layer
     Tensor &beta() { return beta_; }
     Tensor &runningMean() { return runningMean_; }
     Tensor &runningVar() { return runningVar_; }
+    const Tensor &gamma() const { return gamma_; }
+    const Tensor &beta() const { return beta_; }
+    const Tensor &runningMean() const { return runningMean_; }
+    const Tensor &runningVar() const { return runningVar_; }
     /** @} */
 
     /** Keep only the listed channels (sorted, unique). */

@@ -40,6 +40,7 @@ class DepthwiseConv2d : public Layer
 
     /** The bias vector. @pre hasBias(). */
     Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
 
     Shape outputShape(const Shape &input) const override;
     Tensor forward(const Tensor &input, ExecContext &ctx) override;

@@ -39,6 +39,7 @@ class Linear : public Layer
 
     /** Bias vector. */
     Tensor &bias() { return bias_; }
+    const Tensor &bias() const { return bias_; }
 
     /** Current weight format. */
     WeightFormat format() const { return format_; }

@@ -55,6 +55,7 @@ class ResidualBlock : public Layer
     Conv2d *projection() { return proj_.get(); }
     BatchNorm2d *projectionBn() { return projBn_.get(); }
 
+    const ReLU &relu1() const { return *relu1_; }
     const Conv2d &conv1() const { return *conv1_; }
     const Conv2d &conv2() const { return *conv2_; }
     const BatchNorm2d &bn1() const { return *bn1_; }

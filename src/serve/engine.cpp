@@ -1,6 +1,7 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 #include "analysis/verifier.hpp"
@@ -107,6 +108,24 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
         } catch (const tune::PlanError &e) {
             throw RejectedError(RejectReason::BadConfig, e.what());
         }
+    }
+
+    // Numerical pre-flight: compare the plan's recorded static error
+    // bound against this deployment's budget. A worst-case bound over
+    // budget is a WARNING, not a rejection — the bound is provable,
+    // not observed — surfaced through preflightWarnings() so the
+    // operator hears about it before traffic does.
+    if (config_.errorBudget > 0.0 && plan_ &&
+        plan_->totalErrorBound > config_.errorBudget) {
+        char msg[160];
+        std::snprintf(msg, sizeof(msg),
+                      "plan's static e2e error bound %.6g exceeds "
+                      "the serving budget %.6g — retune with "
+                      "--error-budget or relax the budget",
+                      plan_->totalErrorBound, config_.errorBudget);
+        analysis::diag(preflightWarnings_,
+                       analysis::Severity::Warning,
+                       analysis::Check::ErrorBudgetExceeded, "", msg);
     }
 
     if (!config_.startPaused)

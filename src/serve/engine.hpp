@@ -126,6 +126,17 @@ struct ServeConfig
     const tune::DeploymentPlan *plan = nullptr;
 
     /**
+     * End-to-end absolute-error budget this deployment is expected to
+     * meet (0 = none). Compared at pre-flight against the plan's
+     * recorded total_error_bound (the static worst-case |tuned -
+     * exact| the tuner computed): a plan over budget raises an
+     * ErrorBudgetExceeded WARNING in preflightWarnings() — the engine
+     * still starts, because the bound is a provable worst case, not a
+     * measurement — so operators can alert on it before traffic does.
+     */
+    double errorBudget = 0.0;
+
+    /**
      * Start with the worker pool idle; requests queue (and overflow
      * rejects) until resume(). Used by tests to force deterministic
      * backpressure and shutdown-with-queued-work scenarios.
@@ -238,6 +249,17 @@ class InferenceEngine
     /** The engine's configuration. */
     const ServeConfig &config() const { return config_; }
 
+    /**
+     * Non-fatal pre-flight findings (Warning/Info severity) — today
+     * the ErrorBudgetExceeded comparison of the plan's recorded
+     * static error bound against config().errorBudget. Error-severity
+     * findings never land here; they throw from the constructor.
+     */
+    const std::vector<analysis::Diagnostic> &preflightWarnings() const
+    {
+        return preflightWarnings_;
+    }
+
     /** The [1, C, H, W] shape every request must have. */
     const Shape &requestShape() const { return requestShape_; }
 
@@ -277,6 +299,7 @@ class InferenceEngine
      * library, command queue) that must not be shared across workers.
      */
     std::unique_ptr<tune::DeploymentPlan> plan_;
+    std::vector<analysis::Diagnostic> preflightWarnings_;
     obs::Metrics *metrics_;
     obs::Tracer *tracer_;
     std::unique_ptr<obs::MetricsRegistry> ownedRegistry_;

@@ -382,6 +382,24 @@ numField(const JValue &obj, const char *key)
     return field(obj, key, JValue::Kind::Number).number;
 }
 
+/**
+ * Optional numeric field: absent means @p fallback (fields added in
+ * later schema versions parse this way, so an old plan still *parses*
+ * and is then rejected by validatePlan with PlanVersion — a
+ * diagnosable staleness, not a parse defect).
+ */
+double
+optNumField(const JValue &obj, const char *key, double fallback)
+{
+    const JValue *v = obj.find(key);
+    if (!v)
+        return fallback;
+    if (v->kind != JValue::Kind::Number)
+        parseFail(std::string("field '") + key +
+                  "' has the wrong type");
+    return v->number;
+}
+
 int
 intField(const JValue &obj, const char *key)
 {
@@ -411,6 +429,7 @@ renderLayer(std::ostringstream &oss, const LayerPlan &lp)
         << "\", \"threads\": " << lp.threads
         << ", \"measured_s\": " << renderDouble(lp.measuredSeconds)
         << ", \"predicted_s\": " << renderDouble(lp.predictedSeconds)
+        << ", \"error_bound\": " << renderDouble(lp.errorBound)
         << "}";
 }
 
@@ -483,6 +502,10 @@ planToJson(const DeploymentPlan &plan)
         << renderDouble(plan.bestGlobalP50) << ",\n";
     oss << "  \"best_global_config\": \""
         << escapeJson(plan.bestGlobalConfig) << "\",\n";
+    oss << "  \"error_budget\": " << renderDouble(plan.errorBudget)
+        << ",\n";
+    oss << "  \"total_error_bound\": "
+        << renderDouble(plan.totalErrorBound) << ",\n";
     if (plan.layers.empty()) {
         oss << "  \"layers\": []\n";
     } else {
@@ -518,6 +541,9 @@ planFromJson(const std::string &json)
     plan.tunedP50 = numField(root, "tuned_p50_s");
     plan.bestGlobalP50 = numField(root, "best_global_p50_s");
     plan.bestGlobalConfig = strField(root, "best_global_config");
+    plan.errorBudget = optNumField(root, "error_budget", 0.0);
+    plan.totalErrorBound =
+        optNumField(root, "total_error_bound", 0.0);
 
     const JValue &layers = field(root, "layers", JValue::Kind::Array);
     plan.layers.reserve(layers.items.size());
@@ -532,6 +558,7 @@ planFromJson(const std::string &json)
         lp.threads = intField(item, "threads");
         lp.measuredSeconds = numField(item, "measured_s");
         lp.predictedSeconds = numField(item, "predicted_s");
+        lp.errorBound = optNumField(item, "error_bound", 0.0);
         plan.layers.push_back(std::move(lp));
     }
     return plan;

@@ -38,8 +38,13 @@
 
 namespace dlis::tune {
 
-/** Schema version written to (and required of) every plan file. */
-constexpr int kPlanVersion = 1;
+/**
+ * Schema version written to (and required of) every plan file.
+ * v2 added the static numerical-error fields (error_budget,
+ * total_error_bound, per-layer error_bound); v1 plans parse but fail
+ * validatePlan with PlanVersion — re-run --tune.
+ */
+constexpr int kPlanVersion = 2;
 
 /** @name Plan-file tokens (the CLI spellings, not display names). */
 /** @{ */
@@ -58,6 +63,13 @@ struct LayerPlan
     int threads = 1;
     double measuredSeconds = 0.0;  //!< median of the winning point
     double predictedSeconds = 0.0; //!< cost-model seed for the point
+
+    /**
+     * Static worst-case contribution of this layer's choice to the
+     * end-to-end absolute error (analysis::NetworkErrorModel); 0
+     * when no bound was computed.
+     */
+    double errorBound = 0.0;
 };
 
 /** A complete per-layer deployment plan for one network + host. */
@@ -81,6 +93,17 @@ struct DeploymentPlan
     double tunedP50 = 0.0;      //!< e2e p50 executing this plan
     double bestGlobalP50 = 0.0; //!< e2e p50 of the best single config
     std::string bestGlobalConfig; //!< e.g. "openmp/im2col/t4"
+
+    /** Budget the tuner enforced (--error-budget; 0 = none). */
+    double errorBudget = 0.0;
+
+    /**
+     * Static end-to-end worst-case |tuned - exact| bound of the
+     * chosen per-layer configuration (0 when no bound exists). The
+     * serving pre-flight warns when this exceeds the engine's
+     * configured budget.
+     */
+    double totalErrorBound = 0.0;
 
     std::vector<LayerPlan> layers;
 };

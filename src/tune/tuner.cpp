@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 
+#include "analysis/error_bounds.hpp"
 #include "analysis/verifier.hpp"
 #include "core/error.hpp"
 #include "hw/cost_model.hpp"
@@ -105,7 +106,8 @@ collectTunable(Network &net, const Shape &input)
  * runs, and OpenMP x 1 thread (identical to Serial) is skipped.
  */
 std::vector<CandidatePoint>
-enumerateCandidates(const TunableLayer &tl, const TuneOptions &options)
+enumerateCandidates(const TunableLayer &tl, const TuneOptions &options,
+                    const analysis::NetworkErrorModel *errModel)
 {
     const bool convLike =
         tl.kind == LayerKind::Conv || tl.kind == LayerKind::Block;
@@ -151,6 +153,40 @@ enumerateCandidates(const TunableLayer &tl, const TuneOptions &options)
             });
         if (!bad)
             legal.push_back(cp);
+    }
+
+    // Numerical gate: annotate every surviving point with its static
+    // end-to-end error contribution; under --error-budget, points
+    // that provably bust the budget are excluded before anything is
+    // timed. If the whole grid busts it, the minimal-bound points
+    // stay eligible so the search still completes.
+    if (errModel && errModel->complete) {
+        const size_t ui = errModel->indexOf(tl.layer);
+        if (ui < errModel->units.size()) {
+            for (CandidatePoint &cp : legal) {
+                const ConvAlgo eff =
+                    analysis::NetworkErrorModel::effectiveAlgo(
+                        cp.backend, cp.algo);
+                cp.errorBound = errModel->contribution(ui, eff);
+                cp.budgetExcluded = !errModel->withinBudget(
+                    tl.layer, cp.backend, cp.algo,
+                    options.errorBudget);
+            }
+            const bool allExcluded = std::all_of(
+                legal.begin(), legal.end(),
+                [](const CandidatePoint &cp) {
+                    return cp.budgetExcluded;
+                });
+            if (allExcluded && !legal.empty()) {
+                double minBound =
+                    std::numeric_limits<double>::infinity();
+                for (const CandidatePoint &cp : legal)
+                    minBound = std::min(minBound, cp.errorBound);
+                for (CandidatePoint &cp : legal)
+                    if (cp.errorBound <= minBound)
+                        cp.budgetExcluded = false;
+            }
+        }
     }
     return legal;
 }
@@ -319,25 +355,38 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
     std::vector<LayerSearch> searches;
     searches.reserve(tunable.size());
 
+    // Static numerical model over the measurement input range: the
+    // tuner drives every candidate with uniform [-1, 1] inputs, so
+    // the bounds it gates and records speak for what it measured.
+    const analysis::NetworkErrorModel errModel =
+        analysis::buildErrorModel(net, input,
+                                  analysis::Interval{-1.0, 1.0});
+
     DeploymentPlan plan;
     plan.model = stack.config().modelName;
     plan.networkSignature = networkSignature(net, input);
     plan.hostFingerprint = hostFingerprint();
     plan.seed = options.seed;
+    plan.errorBudget = options.errorBudget;
 
     for (size_t li = 0; li < tunable.size(); ++li) {
         TunableLayer &tl = tunable[li];
         LayerSearch search;
         search.layer = tl.layer->name();
-        search.candidates = enumerateCandidates(tl, options);
+        search.candidates =
+            enumerateCandidates(tl, options, &errModel);
         for (CandidatePoint &cp : search.candidates)
             cp.predictedSeconds = predictSeconds(model, tl.costs, cp);
 
         // Stage 2: cost-model prune. Stable order on ties keeps the
         // search deterministic (the model cannot split CPU algorithms;
-        // measurement does).
-        std::vector<size_t> order(search.candidates.size());
-        std::iota(order.begin(), order.end(), 0);
+        // measurement does). Budget-excluded points never make the
+        // cut — they stay in the audit list only.
+        std::vector<size_t> order;
+        order.reserve(search.candidates.size());
+        for (size_t i = 0; i < search.candidates.size(); ++i)
+            if (!search.candidates[i].budgetExcluded)
+                order.push_back(i);
         std::stable_sort(order.begin(), order.end(),
                          [&](size_t a, size_t b) {
                              return search.candidates[a]
@@ -383,6 +432,7 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
             std::isfinite(best->predictedSeconds)
                 ? best->predictedSeconds
                 : 0.0;
+        search.winner.errorBound = best->errorBound;
         plan.layers.push_back(search.winner);
         searches.push_back(std::move(search));
     }
@@ -397,6 +447,25 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
             plan.defaultBackend = Backend::OpenMP;
             plan.defaultThreads = lp.threads;
         }
+
+    // Composed static bound of the chosen configuration: tuned units
+    // at their winner's effective algorithm, every other unit (BN,
+    // pooling, activations) at its fixed local term.
+    if (errModel.complete) {
+        std::unordered_map<const Layer *, ConvAlgo> chosen;
+        for (size_t li = 0; li < tunable.size(); ++li)
+            chosen[tunable[li].layer] =
+                analysis::NetworkErrorModel::effectiveAlgo(
+                    plan.layers[li].backend, plan.layers[li].algo);
+        double total = 0.0;
+        for (size_t i = 0; i < errModel.units.size(); ++i) {
+            const auto it = chosen.find(errModel.units[i].layer);
+            total += errModel.contribution(
+                i, it != chosen.end() ? it->second
+                                      : ConvAlgo::Direct);
+        }
+        plan.totalErrorBound = total;
+    }
 
     // The competition: best single global {backend, algo, threads},
     // scored from the same per-layer samples so the comparison is
@@ -475,7 +544,9 @@ tuneOrLoadPlan(InferenceStack &stack, const TuneOptions &options,
                 diags.begin(), diags.end(), [](const auto &d) {
                     return d.severity == analysis::Severity::Error;
                 });
-            if (clean)
+            // A plan tuned under a different error budget answered a
+            // different question: retune rather than hand it back.
+            if (clean && cached.errorBudget == options.errorBudget)
                 return {std::move(cached), true, path};
         } catch (const PlanError &) {
             // unreadable cache entry: fall through and retune

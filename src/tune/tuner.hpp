@@ -69,6 +69,20 @@ struct TuneOptions
 
     /** Device the cost-model seeding stage prices candidates on. */
     DeviceModel device = intelCoreI7();
+
+    /**
+     * End-to-end absolute-error budget (0 = unlimited). When set,
+     * the static error model (analysis::buildErrorModel over the
+     * measurement input range [-1, 1]) gates enumeration: a
+     * candidate algorithm whose worst-case contribution cannot meet
+     * the budget even with best-case choices everywhere else is
+     * excluded before anything is timed. If every candidate of a
+     * layer busts the budget, the minimal-bound candidates stay
+     * eligible so tuning still completes (the plan's recorded
+     * total_error_bound then exceeds the budget, which the serving
+     * pre-flight surfaces).
+     */
+    double errorBudget = 0.0;
 };
 
 /** One enumerated point of a layer's search space. */
@@ -80,6 +94,12 @@ struct CandidatePoint
     double predictedSeconds = 0.0; //!< cost-model seed
     double measuredSeconds = 0.0;  //!< valid when measured
     bool measured = false;         //!< survived the topK prune
+
+    /** Static e2e error contribution of this point (0 = no model). */
+    double errorBound = 0.0;
+    /** Statically excluded by --error-budget: never timed, never
+     *  wins; kept in the audit list so reports show the exclusion. */
+    bool budgetExcluded = false;
 };
 
 /** Audit record of one layer's search (for reporting and tests). */

@@ -6,11 +6,15 @@
  * MemoryTracker, and the serving engine's deployment pre-flight.
  */
 
+#include <cmath>
 #include <numeric>
+#include <set>
 
 #include <gtest/gtest.h>
 
+#include "analysis/analyzer.hpp"
 #include "analysis/verifier.hpp"
+#include "nn/activations.hpp"
 #include "nn/models/model.hpp"
 #include "nn/pooling.hpp"
 #include "nn/residual_block.hpp"
@@ -437,6 +441,295 @@ TEST(ServePreflight, CleanDeploymentStartsAndServes)
     Tensor out = engine.submit(std::move(input)).get();
     EXPECT_EQ(out.shape(), (Shape{1, config.classes}));
     engine.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Diagnostic code table.
+// ---------------------------------------------------------------------
+
+TEST(Diagnostics, CheckNameTableIsExhaustiveAndStable)
+{
+    // checkName() is backed by a table static_asserted against
+    // Check::Count_, so adding a code without a name fails the build;
+    // this test pins the runtime properties: every name is non-empty,
+    // kebab-case, unique, and never the "?" fallback.
+    std::set<std::string> seen;
+    for (size_t i = 0; i < static_cast<size_t>(Check::Count_); ++i) {
+        const std::string name =
+            analysis::checkName(static_cast<Check>(i));
+        EXPECT_FALSE(name.empty()) << "code " << i;
+        EXPECT_NE("?", name) << "code " << i;
+        for (char ch : name)
+            EXPECT_TRUE((ch >= 'a' && ch <= 'z') ||
+                        (ch >= '0' && ch <= '9') || ch == '-')
+                << name;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate name " << name;
+    }
+    // Spot-pin the spellings tools grep for.
+    EXPECT_STREQ("duplicate-layer-name",
+                 analysis::checkName(Check::DuplicateLayerName));
+    EXPECT_STREQ("non-finite-weight",
+                 analysis::checkName(Check::NonFiniteWeight));
+    EXPECT_STREQ("activation-overflow",
+                 analysis::checkName(Check::ActivationOverflow));
+    EXPECT_STREQ("dead-output",
+                 analysis::checkName(Check::DeadOutput));
+    EXPECT_STREQ("error-budget-exceeded",
+                 analysis::checkName(Check::ErrorBudgetExceeded));
+}
+
+TEST(Verifier, DuplicateLayerNameIsAnError)
+{
+    // Two layers sharing a name would alias in plan overrides and in
+    // every per-layer report; the verifier must refuse the network.
+    Network net("dup");
+    Rng rng(1);
+    net.emplace<Conv2d>("same", 3, 8, 3, 1, 1)->initKaiming(rng);
+    net.emplace<Conv2d>("same", 8, 8, 3, 1, 1)->initKaiming(rng);
+    const VerifyReport rep = verify(net, Shape{1, 3, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::DuplicateLayerName));
+
+    // Distinct names: clean.
+    Network ok("nodup");
+    ok.emplace<Conv2d>("a", 3, 8, 3, 1, 1)->initKaiming(rng);
+    ok.emplace<Conv2d>("b", 8, 8, 3, 1, 1)->initKaiming(rng);
+    EXPECT_TRUE(verify(ok, Shape{1, 3, 8, 8}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Numeric-hazard corpus: each seeded hazard next to its clean twin.
+// ---------------------------------------------------------------------
+
+analysis::AnalysisReport
+analyze(const Network &net, Shape input, double budget = 0.0)
+{
+    analysis::AnalyzeOptions opts;
+    opts.input = std::move(input);
+    opts.errorBudget = budget;
+    return analysis::analyzeNetwork(net, opts);
+}
+
+TEST(NumericCorpus, NonFiniteWeightIsAnError)
+{
+    Network bad("nan-weight");
+    Rng rng(1);
+    Conv2d *conv = bad.emplace<Conv2d>("conv", 1, 2, 3, 1, 1);
+    conv->initKaiming(rng);
+    conv->weight()[4] = std::nanf("");
+    const analysis::AnalysisReport rep =
+        analyze(bad, Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::NonFiniteWeight));
+    EXPECT_FALSE(rep.model.complete); // no bound over NaN weights
+
+    // Negative running variance poisons the BN scale the same way.
+    Network badBn("neg-var");
+    badBn.emplace<Conv2d>("conv", 1, 2, 3, 1, 1)->initKaiming(rng);
+    auto *bn = badBn.emplace<BatchNorm2d>("bn", 2);
+    bn->runningVar()[0] = -1.0f;
+    EXPECT_TRUE(analyze(badBn, Shape{1, 1, 8, 8})
+                    .has(Check::NonFiniteWeight));
+
+    // Clean twin: same topology, finite parameters.
+    Network good("finite-weight");
+    good.emplace<Conv2d>("conv", 1, 2, 3, 1, 1)->initKaiming(rng);
+    good.emplace<BatchNorm2d>("bn", 2);
+    const analysis::AnalysisReport cleanRep =
+        analyze(good, Shape{1, 1, 8, 8});
+    EXPECT_TRUE(cleanRep.ok());
+    EXPECT_FALSE(cleanRep.has(Check::NonFiniteWeight));
+    EXPECT_TRUE(cleanRep.model.complete);
+}
+
+TEST(NumericCorpus, ExplodingBnScaleOverflowsFloatRange)
+{
+    // gamma / sqrt(var + eps) with a huge gamma over a tiny variance:
+    // the scale is finite in double, but the scaled activation
+    // interval escapes float range — the overflow is caught before
+    // any kernel would have produced the Inf.
+    Network bad("exploding-bn");
+    Rng rng(2);
+    bad.emplace<Conv2d>("conv", 1, 2, 3, 1, 1)->initKaiming(rng);
+    auto *bn = bad.emplace<BatchNorm2d>("bn", 2);
+    for (size_t c = 0; c < 2; ++c) {
+        bn->gamma()[c] = 1e38f;
+        bn->runningVar()[c] = 0.0f; // scale ~ 1e38 / sqrt(eps)
+    }
+    const analysis::AnalysisReport rep =
+        analyze(bad, Shape{1, 1, 8, 8});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.has(Check::ActivationOverflow));
+    EXPECT_FALSE(rep.model.complete);
+
+    // Clean twin: default gamma = 1 keeps everything representable.
+    Network good("tame-bn");
+    good.emplace<Conv2d>("conv", 1, 2, 3, 1, 1)->initKaiming(rng);
+    good.emplace<BatchNorm2d>("bn", 2);
+    const analysis::AnalysisReport cleanRep =
+        analyze(good, Shape{1, 1, 8, 8});
+    EXPECT_TRUE(cleanRep.ok());
+    EXPECT_FALSE(cleanRep.has(Check::ActivationOverflow));
+}
+
+TEST(NumericCorpus, DeadReluChainIsAWarningNotAnError)
+{
+    // Zero weights with a negative bias pin every pre-activation to
+    // -1: the ReLU output is provably 0 everywhere. That wastes the
+    // whole chain but executes fine — Warning severity, ok() stays
+    // true.
+    Network bad("dead-relu");
+    Conv2d *conv = bad.emplace<Conv2d>("conv", 1, 2, 3, 1, 1);
+    for (size_t c = 0; c < 2; ++c)
+        conv->bias()[c] = -1.0f;
+    bad.emplace<ReLU>("relu");
+    bad.emplace<Conv2d>("conv2", 2, 2, 3, 1, 1);
+    bad.emplace<ReLU>("relu2");
+
+    const analysis::AnalysisReport rep =
+        analyze(bad, Shape{1, 1, 8, 8});
+    EXPECT_TRUE(rep.has(Check::DeadOutput));
+    EXPECT_TRUE(rep.ok()) << "dead outputs must not be Errors";
+    bool sawWarning = false;
+    for (const analysis::Diagnostic &d : rep.diagnostics)
+        sawWarning |= d.check == Check::DeadOutput &&
+                      d.severity == Severity::Warning;
+    EXPECT_TRUE(sawWarning);
+
+    // Clean twin: Kaiming weights straddle zero, nothing is provably
+    // dead.
+    Network good("live-relu");
+    Rng rng(3);
+    good.emplace<Conv2d>("conv", 1, 2, 3, 1, 1)->initKaiming(rng);
+    good.emplace<ReLU>("relu");
+    const analysis::AnalysisReport cleanRep =
+        analyze(good, Shape{1, 1, 8, 8});
+    EXPECT_TRUE(cleanRep.ok());
+    EXPECT_FALSE(cleanRep.has(Check::DeadOutput));
+}
+
+TEST(Analyzer, BudgetWarningTracksTheComposedBound)
+{
+    Network net("budgeted");
+    Rng rng(4);
+    net.emplace<Conv2d>("conv", 3, 8, 3, 1, 1)->initKaiming(rng);
+    net.emplace<ReLU>("relu");
+
+    // Impossible budget: warn (but never an Error — the bound is a
+    // worst case, not a failure).
+    const analysis::AnalysisReport tight =
+        analyze(net, Shape{1, 3, 8, 8}, 1e-30);
+    EXPECT_TRUE(tight.has(Check::ErrorBudgetExceeded));
+    EXPECT_TRUE(tight.ok());
+    EXPECT_GT(tight.e2eBound, 1e-30);
+
+    // Generous budget: silent.
+    const analysis::AnalysisReport loose =
+        analyze(net, Shape{1, 3, 8, 8}, 1e300);
+    EXPECT_FALSE(loose.has(Check::ErrorBudgetExceeded));
+
+    // No budget: no statement either way.
+    EXPECT_FALSE(analyze(net, Shape{1, 3, 8, 8})
+                     .has(Check::ErrorBudgetExceeded));
+}
+
+// ---------------------------------------------------------------------
+// Property: observed activations inside static intervals, observed
+// cross-algorithm divergence below the composed bounds.
+// ---------------------------------------------------------------------
+
+TEST(PropertyBounds, RandomConvChainsStayInsideStaticBounds)
+{
+    const ConvAlgo algos[] = {ConvAlgo::Direct, ConvAlgo::Im2colGemm,
+                              ConvAlgo::Winograd};
+    size_t unitsChecked = 0;
+
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        Rng rng(seed);
+        Network net("prop" + std::to_string(seed));
+        size_t cin = 1 + rng.uniformInt(3);
+        const size_t firstCin = cin;
+        const size_t side = 8 + rng.uniformInt(9);
+        const int depth = 2 + static_cast<int>(rng.uniformInt(3));
+        for (int li = 0; li < depth; ++li) {
+            // 3x3 stride-1 keeps every layer Winograd-eligible, so
+            // all three algorithm models are exercised end to end.
+            const size_t cout = 1 + rng.uniformInt(8);
+            net.emplace<Conv2d>("c" + std::to_string(li), cin, cout,
+                                3, 1, 1)
+                ->initKaiming(rng);
+            cin = cout;
+            if (rng.uniformInt(2))
+                net.emplace<ReLU>("r" + std::to_string(li));
+        }
+
+        const Shape input{1, firstCin, side, side};
+        const analysis::NetworkErrorModel model =
+            analysis::buildErrorModel(net, input,
+                                      analysis::Interval{-1.0, 1.0});
+        ASSERT_TRUE(model.complete) << "seed " << seed;
+        ASSERT_EQ(net.layers().size(), model.units.size());
+
+        Tensor in(input);
+        in.fillUniform(rng, -1.0f, 1.0f);
+
+        std::vector<Tensor> finals;
+        for (ConvAlgo algo : algos) {
+            ExecContext ctx;
+            ctx.convAlgo = algo;
+            Tensor x = in;
+            // Running worst-case |float - exact| bound, composed the
+            // same way error_bounds.hpp composes the e2e bound:
+            // e_{i+1} = L_i * e_i + delta_i.
+            double err = 0.0;
+            size_t violations = 0;
+            for (size_t ui = 0; ui < net.layers().size(); ++ui) {
+                x = net.layers()[ui]->forward(x, ctx);
+                const analysis::UnitAnalysis &unit = model.units[ui];
+                err = err * unit.amplification +
+                      model.unitDelta(ui, algo);
+
+                const auto &d = x.shape().dims();
+                const size_t hw = d.size() == 4 ? d[2] * d[3] : 1;
+                for (size_t i = 0; i < x.numel(); ++i) {
+                    const size_t c = (i / hw) % d[1];
+                    if (!unit.out.at(c).contains(x[i], err) &&
+                        violations++ == 0)
+                        ADD_FAILURE()
+                            << "seed " << seed << " unit "
+                            << unit.name << " algo "
+                            << static_cast<int>(algo) << ": value "
+                            << x[i] << " outside "
+                            << unit.out.at(c).str() << " + " << err;
+                }
+                ++unitsChecked;
+            }
+            EXPECT_EQ(0u, violations) << "seed " << seed;
+            finals.push_back(std::move(x));
+        }
+
+        // Both executions deviate from exact arithmetic by at most
+        // their own bound, so they deviate from each other by at most
+        // the sum.
+        for (size_t ai = 1; ai < 3; ++ai) {
+            const double bound = model.endToEnd(algos[ai]) +
+                                 model.endToEnd(algos[0]);
+            size_t over = 0;
+            for (size_t i = 0; i < finals[0].numel(); ++i) {
+                const double diff =
+                    std::fabs(static_cast<double>(finals[ai][i]) -
+                              static_cast<double>(finals[0][i]));
+                if (diff > bound && over++ == 0)
+                    ADD_FAILURE() << "seed " << seed << " algo "
+                                  << static_cast<int>(algos[ai])
+                                  << ": |diff| " << diff
+                                  << " exceeds bound " << bound;
+            }
+            EXPECT_EQ(0u, over) << "seed " << seed;
+        }
+    }
+    EXPECT_GE(unitsChecked, 20u * 3u * 2u);
 }
 
 } // namespace

@@ -283,6 +283,102 @@ TEST(Tuner, DepthwiseLayersNeverGetGemmBackends)
     }
 }
 
+TEST(Tuner, ErrorBudgetExcludesWinogradStatically)
+{
+    // VGG16 body convs are 3x3 stride-1, so every conv layer has
+    // Winograd candidates — the algorithm with the largest static
+    // error amplification. A budget tight enough that Winograd's
+    // contribution busts it must exclude those candidates before
+    // anything is timed; a loose budget must leave them eligible.
+    InferenceStack stack = makeStack("vgg16");
+
+    // "Loose" must clear the network's genuine worst-case bound,
+    // which compounds multiplicatively through the conv stack.
+    tune::TuneOptions loose = fastOptions();
+    loose.errorBudget = 1e300;
+    std::vector<tune::LayerSearch> auditLoose;
+    const tune::DeploymentPlan planLoose =
+        tunePlan(stack, loose, &auditLoose);
+
+    tune::TuneOptions tight = fastOptions();
+    tight.errorBudget = 1e-30;
+    std::vector<tune::LayerSearch> auditTight;
+    const tune::DeploymentPlan planTight =
+        tunePlan(stack, tight, &auditTight);
+
+    const auto countWinograd = [](const tune::LayerSearch &search,
+                                  bool excluded) {
+        size_t n = 0;
+        for (const tune::CandidatePoint &c : search.candidates)
+            if (c.algo == ConvAlgo::Winograd &&
+                c.budgetExcluded == excluded)
+                ++n;
+        return n;
+    };
+
+    size_t eligibleLoose = 0, excludedTight = 0;
+    ASSERT_EQ(auditLoose.size(), auditTight.size());
+    for (size_t i = 0; i < auditLoose.size(); ++i) {
+        eligibleLoose += countWinograd(auditLoose[i], false);
+        EXPECT_EQ(0u, countWinograd(auditLoose[i], true))
+            << auditLoose[i].layer;
+        excludedTight += countWinograd(auditTight[i], true);
+        EXPECT_EQ(0u, countWinograd(auditTight[i], false))
+            << auditTight[i].layer;
+    }
+    EXPECT_GT(eligibleLoose, 0u);
+    EXPECT_GT(excludedTight, 0u);
+
+    // An excluded candidate never wins: the tight plan is
+    // Winograd-free, and tuning still completed for every layer.
+    ASSERT_EQ(planLoose.layers.size(), planTight.layers.size());
+    for (const tune::LayerPlan &lp : planTight.layers)
+        EXPECT_NE(ConvAlgo::Winograd, lp.algo) << lp.layer;
+
+    // The bounds travel with the plan: budget + per-layer + total are
+    // serialized and survive a JSON round trip exactly.
+    EXPECT_DOUBLE_EQ(1e-30, planTight.errorBudget);
+    EXPECT_GT(planTight.totalErrorBound, 0.0);
+    bool anyLayerBound = false;
+    for (const tune::LayerPlan &lp : planTight.layers)
+        anyLayerBound = anyLayerBound || lp.errorBound > 0.0;
+    EXPECT_TRUE(anyLayerBound);
+    const tune::DeploymentPlan reparsed =
+        tune::planFromJson(tune::planToJson(planTight));
+    EXPECT_DOUBLE_EQ(planTight.errorBudget, reparsed.errorBudget);
+    EXPECT_DOUBLE_EQ(planTight.totalErrorBound,
+                     reparsed.totalErrorBound);
+    for (size_t i = 0; i < planTight.layers.size(); ++i)
+        EXPECT_DOUBLE_EQ(planTight.layers[i].errorBound,
+                         reparsed.layers[i].errorBound);
+}
+
+TEST(Tuner, CacheMissesWhenErrorBudgetChanges)
+{
+    // A cached plan tuned under one budget must not satisfy a request
+    // tuned under another: the exclusion set (and so possibly the
+    // winners) differ.
+    InferenceStack stack = makeStack("mobilenet");
+    const std::string dir = "test_tune_budget_cache";
+    std::filesystem::remove_all(dir);
+
+    tune::TuneOptions options = fastOptions();
+    const tune::TuneOutcome first =
+        tuneOrLoadPlan(stack, options, dir);
+    EXPECT_FALSE(first.cacheHit);
+
+    options.errorBudget = 0.5;
+    const tune::TuneOutcome budgeted =
+        tuneOrLoadPlan(stack, options, dir);
+    EXPECT_FALSE(budgeted.cacheHit);
+    EXPECT_DOUBLE_EQ(0.5, budgeted.plan.errorBudget);
+
+    const tune::TuneOutcome again =
+        tuneOrLoadPlan(stack, options, dir);
+    EXPECT_TRUE(again.cacheHit);
+    std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------- //
 // Plan equivalence: plan-driven forward == fixed-config forwards   //
 // ---------------------------------------------------------------- //
@@ -456,7 +552,7 @@ TEST(PlanEquivalence, RandomisedConvChainGeometries)
 // ---------------------------------------------------------------- //
 
 const char *const kGoldenPlan = R"({
-  "plan_version": 1,
+  "plan_version": 2,
   "model": "vgg16",
   "network_signature": "00000000deadbeef",
   "host_fingerprint": "golden-host/cpu8/avx2",
@@ -466,10 +562,12 @@ const char *const kGoldenPlan = R"({
   "tuned_p50_s": 0.03125,
   "best_global_p50_s": 0.046875,
   "best_global_config": "openmp/im2col/t4",
+  "error_budget": 0.001953125,
+  "total_error_bound": 0.0009765625,
   "layers": [
-    {"layer": "conv1", "backend": "openmp", "algo": "im2col", "threads": 4, "measured_s": 0.001953125, "predicted_s": 0.00390625},
-    {"layer": "conv2", "backend": "serial", "algo": "winograd", "threads": 1, "measured_s": 0.0078125, "predicted_s": 0.015625},
-    {"layer": "fc1", "backend": "clblast", "algo": "im2col", "threads": 1, "measured_s": 0.5, "predicted_s": 2}
+    {"layer": "conv1", "backend": "openmp", "algo": "im2col", "threads": 4, "measured_s": 0.001953125, "predicted_s": 0.00390625, "error_bound": 0.00048828125},
+    {"layer": "conv2", "backend": "serial", "algo": "winograd", "threads": 1, "measured_s": 0.0078125, "predicted_s": 0.015625, "error_bound": 0.000244140625},
+    {"layer": "fc1", "backend": "clblast", "algo": "im2col", "threads": 1, "measured_s": 0.5, "predicted_s": 2, "error_bound": 0.0001220703125}
   ]
 }
 )";
@@ -487,13 +585,15 @@ goldenPlan()
     plan.tunedP50 = 0.03125;
     plan.bestGlobalP50 = 0.046875;
     plan.bestGlobalConfig = "openmp/im2col/t4";
+    plan.errorBudget = 0.001953125;
+    plan.totalErrorBound = 0.0009765625;
     plan.layers = {
         {"conv1", Backend::OpenMP, ConvAlgo::Im2colGemm, 4,
-         0.001953125, 0.00390625},
+         0.001953125, 0.00390625, 0.00048828125},
         {"conv2", Backend::Serial, ConvAlgo::Winograd, 1, 0.0078125,
-         0.015625},
+         0.015625, 0.000244140625},
         {"fc1", Backend::OclGemmLib, ConvAlgo::Im2colGemm, 1, 0.5,
-         2.0},
+         2.0, 0.0001220703125},
     };
     return plan;
 }
@@ -522,15 +622,18 @@ TEST(PlanFile, ParseRenderRoundTripIsIdentity)
 TEST(PlanFile, ParsedFieldsSurviveTheTrip)
 {
     const tune::DeploymentPlan p = tune::planFromJson(kGoldenPlan);
-    EXPECT_EQ(1, p.version);
+    EXPECT_EQ(2, p.version);
     EXPECT_EQ("vgg16", p.model);
     EXPECT_EQ(7u, p.seed);
     EXPECT_EQ(Backend::OpenMP, p.defaultBackend);
     EXPECT_EQ(4, p.defaultThreads);
+    EXPECT_DOUBLE_EQ(0.001953125, p.errorBudget);
+    EXPECT_DOUBLE_EQ(0.0009765625, p.totalErrorBound);
     ASSERT_EQ(3u, p.layers.size());
     EXPECT_EQ(Backend::OclGemmLib, p.layers[2].backend);
     EXPECT_EQ(ConvAlgo::Winograd, p.layers[1].algo);
     EXPECT_DOUBLE_EQ(0.001953125, p.layers[0].measuredSeconds);
+    EXPECT_DOUBLE_EQ(0.00048828125, p.layers[0].errorBound);
 }
 
 // ---------------------------------------------------------------- //
@@ -644,6 +747,41 @@ TEST(PlanReject, ValidationCodesAreStable)
     plan.layers.push_back(
         {"stem", Backend::OpenMP, ConvAlgo::Direct, 2, 0.0, 0.0});
     EXPECT_TRUE(anyError(tune::validatePlan(plan, net, input)));
+}
+
+TEST(PlanReject, V1PlanFailsWithPlanVersionNotParse)
+{
+    // A genuine v1 document — no error fields, old version number —
+    // must still PARSE (the error fields are optional with defaults),
+    // then be refused by validatePlan with the stable PlanVersion
+    // code, so the operator sees "re-run --tune", not "corrupt file".
+    InferenceStack stack = makeStack("mobilenet");
+    tune::DeploymentPlan current = emptyValidPlan(stack);
+    current.layers.push_back(
+        {"stem", Backend::Serial, ConvAlgo::Direct, 1, 0.0, 0.0});
+
+    std::string v1 = tune::planToJson(current);
+    const auto rewrite = [&v1](const std::string &from,
+                               const std::string &to) {
+        const size_t at = v1.find(from);
+        ASSERT_NE(std::string::npos, at) << from;
+        v1.replace(at, from.size(), to);
+    };
+    rewrite("\"plan_version\": 2", "\"plan_version\": 1");
+    rewrite("  \"error_budget\": 0,\n", "");
+    rewrite("  \"total_error_bound\": 0,\n", "");
+    rewrite(", \"error_bound\": 0}", "}");
+
+    tune::DeploymentPlan parsed;
+    ASSERT_NO_THROW(parsed = tune::planFromJson(v1))
+        << "v1 plan must parse, not throw PlanParse";
+    EXPECT_EQ(1, parsed.version);
+    EXPECT_DOUBLE_EQ(0.0, parsed.totalErrorBound);
+
+    const std::vector<analysis::Diagnostic> diags =
+        tune::validatePlan(parsed, stack.model().net,
+                           stack.inputShape(1));
+    EXPECT_TRUE(hasError(diags, analysis::Check::PlanVersion));
 }
 
 TEST(PlanReject, IllegalPointOnSparseWeightsIsAnError)
@@ -772,6 +910,39 @@ TEST(ServePlan, PreflightRejectsStaleForeignAndCorruptPlans)
     fileConfig.planFile = dir + "/nope.plan.json";
     expectServeRejects(stack, fileConfig);
     std::filesystem::remove_all(dir);
+}
+
+TEST(ServePlan, PreflightWarnsWhenPlanBoundExceedsBudget)
+{
+    // A plan whose recorded static error bound busts the engine's
+    // budget is a warning, not a rejection: the bound is a provable
+    // worst case, so the deployment starts but the operator is told.
+    InferenceStack stack = makeStack("mobilenet");
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.totalErrorBound = 0.5;
+
+    serve::ServeConfig config;
+    config.workers = 1;
+    config.plan = &plan;
+    config.errorBudget = 0.25;
+    serve::InferenceEngine over(stack, config);
+    bool warned = false;
+    for (const analysis::Diagnostic &d : over.preflightWarnings())
+        warned |= d.check == analysis::Check::ErrorBudgetExceeded &&
+                  d.severity == analysis::Severity::Warning;
+    EXPECT_TRUE(warned);
+    over.shutdown();
+
+    // Budget met (or no budget at all): no warning.
+    config.errorBudget = 1.0;
+    serve::InferenceEngine under(stack, config);
+    EXPECT_TRUE(under.preflightWarnings().empty());
+    under.shutdown();
+
+    config.errorBudget = 0.0;
+    serve::InferenceEngine unbounded(stack, config);
+    EXPECT_TRUE(unbounded.preflightWarnings().empty());
+    unbounded.shutdown();
 }
 
 TEST(ServePlan, ValidPlanServesIdenticallyToPlanBoundForward)

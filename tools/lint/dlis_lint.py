@@ -33,6 +33,14 @@ expresses:
                    the dispatch layer (simd::activeKernels()) so every
                    call site keeps a scalar reference path and the
                    binary stays runnable on any host.
+  float-sentinel   No ``std::numeric_limits<float>`` sentinel
+                   comparisons outside src/analysis/: hand-rolled
+                   max()/infinity()/lowest() range checks are how
+                   overflow bugs hide (float max compared against a
+                   double, infinity() used where a NaN slips past).
+                   Ask the interval layer instead —
+                   analysis::overflowsFloat() / isFiniteValue() /
+                   analysis::kFloatMax (src/analysis/interval.hpp).
 
 Suppress a finding with a same-line comment::
 
@@ -71,6 +79,7 @@ RULE_ONLY = {
 # above).
 RULE_EXCEPT = {
     "simd-intrinsics": ("src/backend/simd/",),
+    "float-sentinel": ("src/analysis/",),
 }
 
 RULES = [
@@ -136,6 +145,13 @@ RULES = [
         ),
         "raw SIMD intrinsic {match} outside src/backend/simd/; "
         "route vector code through simd::activeKernels()",
+    ),
+    (
+        "float-sentinel",
+        re.compile(r"std\s*::\s*numeric_limits\s*<\s*float\s*>"),
+        "float sentinel comparison outside src/analysis/; use "
+        "analysis::overflowsFloat()/isFiniteValue()/kFloatMax "
+        "(analysis/interval.hpp)",
     ),
 ]
 
