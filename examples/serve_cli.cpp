@@ -14,6 +14,12 @@
  *                                     rejects a corrupt, stale, or
  *                                     foreign plan before serving
  *             [--workers <n>]         pool size (default 2)
+ *             [--node-mem-budget <b>] node RAM budget in bytes; the
+ *                                     pre-flight refuses when one
+ *                                     replica cannot fit
+ *                                     (node-mem-exceeded) and sheds
+ *                                     the pool to the replicas that
+ *                                     do (0 = off)
  *             [--max-batch <n>]       coalescing limit (default 8)
  *             [--max-delay-us <n>]    batching linger (default 2000)
  *             [--queue <n>]           admission bound (default 64)
@@ -42,6 +48,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/diagnostic.hpp"
 #include "obs/trace.hpp"
 #include "serve/engine.hpp"
 #include "serve/replay.hpp"
@@ -120,6 +127,8 @@ main(int argc, char **argv)
         std::stoi(argValue(argc, argv, "--threads", "4"));
     serveConfig.workers = static_cast<size_t>(
         std::stoul(argValue(argc, argv, "--workers", "2")));
+    serveConfig.nodeMemBudget = static_cast<size_t>(std::stoull(
+        argValue(argc, argv, "--node-mem-budget", "0")));
     serveConfig.maxBatch = static_cast<size_t>(
         std::stoul(argValue(argc, argv, "--max-batch", "8")));
     serveConfig.maxDelayUs = static_cast<uint64_t>(
@@ -181,6 +190,12 @@ main(int argc, char **argv)
     if (!serveConfig.planFile.empty())
         std::printf("plan: executing %s\n",
                     serveConfig.planFile.c_str());
+    for (const analysis::Diagnostic &d : engine.preflightWarnings())
+        std::printf("preflight: %s\n", d.str().c_str());
+    if (engine.activeWorkers() != serveConfig.workers)
+        std::printf("workers: %zu of %zu replicas fit the node "
+                    "budget\n",
+                    engine.activeWorkers(), serveConfig.workers);
 
     std::unique_ptr<serve::TelemetryServer> telemetry;
     if (wantTelemetry) {

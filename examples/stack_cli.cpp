@@ -60,6 +60,20 @@
  *                                        (default results/plans)
  *             [--tune-reps <n>] [--tune-topk <n>]
  *                                        tuner measurement budget
+ *             [--mem-budget <bytes>]     with --tune: cap the plan's
+ *                                        static peak working set; the
+ *                                        planner trades latency for
+ *                                        footprint per layer, and an
+ *                                        unsatisfiable budget exits 1
+ *                                        with plan-mem-infeasible
+ *                                        naming the minimum feasible
+ *                                        peak
+ *             [--mem-report]             per-layer memory breakdown
+ *                                        (direct / im2col / winograd)
+ *                                        plus a budget -> latency
+ *                                        Pareto sweep written as CSV
+ *                                        under results/
+ *             [--mem-out <file>]         mem-report CSV destination
  *             [--plan <file>]            execute a tuned plan:
  *                                        validate it against this
  *                                        host + network (nonzero exit
@@ -81,9 +95,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
 #include <string>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/memory_estimate.hpp"
 #include "analysis/verifier.hpp"
 #include "core/logging.hpp"
 #include "core/rng.hpp"
@@ -94,6 +112,7 @@
 #include "serve/replay.hpp"
 #include "stack/inference_stack.hpp"
 #include "stack/report.hpp"
+#include "tune/mem_planner.hpp"
 #include "tune/tuner.hpp"
 
 using namespace dlis;
@@ -265,11 +284,21 @@ runTune(int argc, char **argv, InferenceStack &stack,
         std::stoul(argValue(argc, argv, "--tune-topk", "8")));
     opts.errorBudget =
         std::stod(argValue(argc, argv, "--error-budget", "0"));
+    opts.memBudget = static_cast<size_t>(
+        std::stoull(argValue(argc, argv, "--mem-budget", "0")));
     const std::string dir =
         argValue(argc, argv, "--plan-dir", "results/plans");
 
-    const tune::TuneOutcome outcome =
-        tune::tuneOrLoadPlan(stack, opts, dir);
+    tune::TuneOutcome outcome;
+    try {
+        outcome = tune::tuneOrLoadPlan(stack, opts, dir);
+    } catch (const tune::PlanError &e) {
+        // An infeasible --mem-budget is a diagnosable configuration
+        // problem (the message names the minimum feasible peak), not
+        // a crash.
+        std::printf("%s\n", e.what());
+        return 1;
+    }
     std::printf("plan cache: %s\n", outcome.cacheHit
                                         ? "hit — search skipped"
                                         : "miss — searched");
@@ -297,6 +326,18 @@ runTune(int argc, char **argv, InferenceStack &stack,
         std::printf("\n");
     }
 
+    if (plan.peakBytesBound > 0) {
+        std::printf("static peak footprint bound %zu bytes",
+                    plan.peakBytesBound);
+        if (plan.memBudget > 0)
+            std::printf(" | mem budget %zu bytes (%s)",
+                        plan.memBudget,
+                        plan.peakBytesBound <= plan.memBudget
+                            ? "met"
+                            : "EXCEEDED");
+        std::printf("\n");
+    }
+
     std::printf("tuned p50 %.6f s | best global (%s) %.6f s | "
                 "speedup %.2fx\n",
                 plan.tunedP50, plan.bestGlobalConfig.c_str(),
@@ -305,6 +346,114 @@ runTune(int argc, char **argv, InferenceStack &stack,
                     ? plan.bestGlobalP50 / plan.tunedP50
                     : 0.0);
     std::printf("plan: %s\n", outcome.path.c_str());
+    return 0;
+}
+
+/** --mem-report mode: per-layer byte breakdown + a Pareto sweep of
+ *  peak-memory budget against achievable latency, written to
+ *  results/ for the paper-style trade-off curve. */
+int
+runMemReport(int argc, char **argv, InferenceStack &stack,
+             const DeviceModel &device)
+{
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+
+    // Per-layer byte breakdown: what each candidate algorithm costs
+    // in activation transients + scratch, at the shape the layer
+    // actually sees (serial pricing; threads add per-thread C tiles).
+    TablePrinter table("per-layer memory breakdown (" +
+                       stack.config().modelName +
+                       ", transient+scratch bytes)");
+    table.setHeader({"layer", "input", "output", "direct", "im2col",
+                     "winograd"});
+    Shape cur = input;
+    for (const auto &layerPtr : net.layers()) {
+        const Layer &layer = *layerPtr;
+        auto algoCell = [&](ConvAlgo algo) {
+            const analysis::LayerMemory lm =
+                analysis::layerForwardMemory(layer, cur,
+                                             Backend::Serial, algo, 1);
+            return std::to_string(lm.transientBytes) + "+" +
+                   std::to_string(lm.scratchBytes);
+        };
+        const analysis::LayerMemory lm = analysis::layerForwardMemory(
+            layer, cur, Backend::Serial, ConvAlgo::Direct, 1);
+        table.addRow({layer.name(), std::to_string(lm.inputBytes),
+                      std::to_string(lm.outputBytes),
+                      algoCell(ConvAlgo::Direct),
+                      algoCell(ConvAlgo::Im2colGemm),
+                      algoCell(ConvAlgo::Winograd)});
+        cur = layer.outputShape(cur);
+    }
+    table.print();
+
+    // One tuner pass with the memory-Pareto candidates measured; the
+    // huge budget never binds, so the audit carries the unconstrained
+    // winners plus every memory-minimal point the sweep can retreat
+    // to.
+    tune::TuneOptions opts;
+    opts.device = device;
+    opts.reps = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--tune-reps", "3")));
+    opts.topK = static_cast<size_t>(
+        std::stoul(argValue(argc, argv, "--tune-topk", "4")));
+    opts.measureEndToEnd = false;
+    opts.memBudget = std::numeric_limits<size_t>::max();
+    std::vector<tune::LayerSearch> audit;
+    const tune::DeploymentPlan plan =
+        tune::tunePlan(stack, opts, &audit);
+
+    const tune::MemPlanOutcome probe = tune::planUnderMemBudget(
+        net, input, audit, std::numeric_limits<size_t>::max());
+    const size_t minPeak = probe.minFeasiblePeak;
+    const size_t maxPeak = std::max(plan.peakBytesBound, minPeak);
+    std::printf("min feasible peak: %zu bytes\n", minPeak);
+    std::printf("unconstrained peak bound: %zu bytes\n",
+                plan.peakBytesBound);
+
+    // Pareto sweep: latency the planner can reach at each budget
+    // between the two extremes (sum of the chosen layers' measured
+    // medians — the same score the tuner optimises).
+    const std::string outPath =
+        argValue(argc, argv, "--mem-out",
+                 ("results/mem_report_" + stack.config().modelName +
+                  ".csv")
+                     .c_str());
+    const std::filesystem::path outDir =
+        std::filesystem::path(outPath).parent_path();
+    if (!outDir.empty())
+        std::filesystem::create_directories(outDir);
+    std::ofstream csv(outPath, std::ios::trunc);
+    csv << "model,budget_bytes,peak_bytes_bound,latency_s\n";
+    TablePrinter sweep("budget -> latency Pareto sweep");
+    sweep.setHeader({"budget", "peak bound", "latency s"});
+    const size_t steps = 8;
+    for (size_t i = 0; i <= steps; ++i) {
+        const size_t budget =
+            minPeak + (maxPeak - minPeak) * i / steps;
+        const tune::MemPlanOutcome mem =
+            tune::planUnderMemBudget(net, input, audit, budget);
+        if (!mem.feasible)
+            continue;
+        double latency = 0.0;
+        for (size_t li = 0; li < audit.size(); ++li)
+            latency += audit[li]
+                           .candidates[mem.chosen[li]]
+                           .measuredSeconds;
+        csv << stack.config().modelName << "," << budget << ","
+            << mem.peakBytesBound << "," << latency << "\n";
+        sweep.addRow({fmtMb(budget) + " MB",
+                      fmtMb(mem.peakBytesBound) + " MB",
+                      fmtSig(latency)});
+    }
+    sweep.print();
+    csv.flush();
+    if (!csv) {
+        warn("could not write mem report to ", outPath);
+        return 1;
+    }
+    std::printf("mem report: %s\n", outPath.c_str());
     return 0;
 }
 
@@ -443,6 +592,9 @@ main(int argc, char **argv)
 
     if (hasFlag(argc, argv, "--tune"))
         return runTune(argc, argv, stack, device);
+
+    if (hasFlag(argc, argv, "--mem-report"))
+        return runMemReport(argc, argv, stack, device);
 
     const std::string planPath = argValue(argc, argv, "--plan", "");
     if (!planPath.empty())

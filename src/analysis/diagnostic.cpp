@@ -50,6 +50,8 @@ static constexpr const char *kCheckNames[] = {
     "activation-overflow",
     "dead-output",
     "error-budget-exceeded",
+    "plan-mem-infeasible",
+    "node-mem-exceeded",
 };
 
 static_assert(std::size(kCheckNames) ==

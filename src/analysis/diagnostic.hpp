@@ -73,6 +73,8 @@ enum class Check
     ActivationOverflow,  //!< activation interval exceeds float range
     DeadOutput,          //!< ReLU output provably pinned <= 0
     ErrorBudgetExceeded, //!< static error bound above the budget
+    PlanMemInfeasible,   //!< no per-layer assignment fits the budget
+    NodeMemExceeded,     //!< replicas x plan peak above node budget
 
     Count_, //!< sentinel — keep last; sizes checkName()'s table
 };

@@ -219,11 +219,31 @@ accumulateParams(const Layer &layer, MemoryEstimate &est)
     }
 }
 
+/** Per-layer transient/scratch terms under one configuration — the
+ *  shared pricing core of layerForwardMemory and the whole-network
+ *  estimators. */
+Transient
+layerTransient(const Layer &layer, const Shape &in, Backend backend,
+               ConvAlgo algo, int threads)
+{
+    Transient t{bytesOf(layer.outputShape(in)), 0};
+    if (const auto *conv = dynamic_cast<const Conv2d *>(&layer))
+        t = convTransient(*conv, in, backend, algo, threads);
+    else if (const auto *block =
+                 dynamic_cast<const ResidualBlock *>(&layer))
+        t = residualTransient(*block, in, backend, algo, threads);
+    else if (const auto *fc = dynamic_cast<const Linear *>(&layer))
+        t.scratch = linearScratch(*fc, in[0], backend, threads);
+    return t;
+}
+
 } // namespace
 
 MemoryEstimate
-estimateForwardMemory(const Network &net, const Shape &input,
-                      Backend backend, ConvAlgo algo, int threads)
+memoryEstimateForPlan(
+    const Network &net, const Shape &input,
+    const std::unordered_map<std::string, LayerExecOverride> &overrides,
+    Backend defaultBackend, ConvAlgo defaultAlgo, int defaultThreads)
 {
     MemoryEstimate est;
     const size_t inputBytes = bytesOf(input);
@@ -238,15 +258,23 @@ estimateForwardMemory(const Network &net, const Shape &input,
         const Layer &layer = *layerPtr;
         accumulateParams(layer, est);
 
+        // Resolve the layer's effective configuration the same way
+        // Network::forwardLayer does: an override named after the
+        // top-level layer wins (a residual block switches as a unit),
+        // everything else runs under the defaults.
+        Backend backend = defaultBackend;
+        ConvAlgo algo = defaultAlgo;
+        int threads = defaultThreads;
+        const auto it = overrides.find(layer.name());
+        if (it != overrides.end()) {
+            backend = it->second.backend;
+            algo = it->second.convAlgo;
+            threads = it->second.threads;
+        }
+
         const Shape out = layer.outputShape(cur);
-        Transient t{bytesOf(out), 0};
-        if (const auto *conv = dynamic_cast<const Conv2d *>(&layer))
-            t = convTransient(*conv, cur, backend, algo, threads);
-        else if (const auto *block =
-                     dynamic_cast<const ResidualBlock *>(&layer))
-            t = residualTransient(*block, cur, backend, algo, threads);
-        else if (const auto *fc = dynamic_cast<const Linear *>(&layer))
-            t.scratch = linearScratch(*fc, cur[0], backend, threads);
+        const Transient t =
+            layerTransient(layer, cur, backend, algo, threads);
 
         LayerMemory lm;
         lm.name = layer.name();
@@ -264,6 +292,30 @@ estimateForwardMemory(const Network &net, const Shape &input,
 
     est.activationsPeak = inputBytes + peakBeyondInput;
     return est;
+}
+
+MemoryEstimate
+estimateForwardMemory(const Network &net, const Shape &input,
+                      Backend backend, ConvAlgo algo, int threads)
+{
+    // A single global configuration is the empty-override plan.
+    return memoryEstimateForPlan(net, input, {}, backend, algo,
+                                 threads);
+}
+
+LayerMemory
+layerForwardMemory(const Layer &layer, const Shape &input,
+                   Backend backend, ConvAlgo algo, int threads)
+{
+    const Transient t =
+        layerTransient(layer, input, backend, algo, threads);
+    LayerMemory lm;
+    lm.name = layer.name();
+    lm.inputBytes = bytesOf(input);
+    lm.outputBytes = bytesOf(layer.outputShape(input));
+    lm.transientBytes = t.act;
+    lm.scratchBytes = t.scratch;
+    return lm;
 }
 
 } // namespace dlis::analysis

@@ -23,8 +23,10 @@
 #define DLIS_ANALYSIS_MEMORY_ESTIMATE_HPP
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "nn/exec_context.hpp"
 #include "nn/network.hpp"
 
 namespace dlis::analysis {
@@ -89,6 +91,37 @@ MemoryEstimate estimateForwardMemory(const Network &net,
                                      Backend backend = Backend::Serial,
                                      ConvAlgo algo = ConvAlgo::Direct,
                                      int threads = 1);
+
+/**
+ * Plan-aware variant: estimate the tracker-observed peak when the
+ * forward executes under @p overrides, i.e. exactly what
+ * Network::forwardLayer does when ExecContext::layerOverrides is set —
+ * a layer named in the map runs under its override's backend /
+ * convolution algorithm / thread count (residual blocks as one unit),
+ * every other layer under the defaults. Because the context's
+ * ScratchArena grows exactly and never returns retired capacity, the
+ * Scratch high-water of a mixed assignment is the *largest* per-layer
+ * demand under that layer's own configuration, and the Activations
+ * high-water composes per layer the same way — both are reproduced
+ * byte-exactly here (pinned against MemoryTracker in
+ * tests/test_analysis.cpp for mixed plans on the paper models).
+ */
+MemoryEstimate memoryEstimateForPlan(
+    const Network &net, const Shape &input,
+    const std::unordered_map<std::string, LayerExecOverride> &overrides,
+    Backend defaultBackend = Backend::Serial,
+    ConvAlgo defaultAlgo = ConvAlgo::Direct, int defaultThreads = 1);
+
+/**
+ * One layer's memory contribution under one concrete configuration:
+ * the building block the memory-budgeted planner prices candidates
+ * with. @p input is the activation shape entering the layer. The
+ * returned transient/scratch figures are the same per-layer terms the
+ * whole-network estimators above take their maxima over.
+ */
+LayerMemory layerForwardMemory(const Layer &layer, const Shape &input,
+                               Backend backend, ConvAlgo algo,
+                               int threads);
 
 } // namespace dlis::analysis
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "analysis/memory_estimate.hpp"
 #include "analysis/verifier.hpp"
 #include "backend/simd/isa.hpp"
 #include "obs/trace.hpp"
@@ -57,16 +58,6 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
                    config_.windowBucketSeconds > 0.0,
                "rolling window needs >= 1 bucket of > 0 seconds");
 
-    // One reservoir per worker: workers sample their own completions
-    // without sharing a lock; stats() merges them into one unbiased
-    // sample of the combined stream. Seeds are per-worker so merged
-    // percentiles are reproducible run to run.
-    workerSamples_.reserve(config_.workers);
-    for (size_t i = 0; i < config_.workers; ++i)
-        workerSamples_.push_back(std::make_unique<WorkerSample>(
-            std::max<size_t>(config_.latencyReservoir, 1),
-            0x5eedULL + i));
-
     registerInstruments();
 
     // Pre-flight: statically verify the model against this engine's
@@ -109,6 +100,58 @@ InferenceEngine::InferenceEngine(InferenceStack &stack,
             throw RejectedError(RejectReason::BadConfig, e.what());
         }
     }
+
+    // Memory pre-flight: right-size the worker pool against the
+    // node's RAM budget. Each worker is one replica of the model's
+    // peak footprint — the plan's recorded peak_bytes_bound when a
+    // plan drives the pool, otherwise the static estimate of the
+    // configured global point. Shedding replicas is a warning (the
+    // engine still serves, just narrower); zero fitting replicas is
+    // a refusal — the first batch would take the node down.
+    activeWorkers_ = config_.workers;
+    if (config_.nodeMemBudget > 0) {
+        const size_t perReplica =
+            plan_ && plan_->peakBytesBound > 0
+                ? plan_->peakBytesBound
+                : analysis::estimateForwardMemory(
+                      stack.model().net, stack.inputShape(1),
+                      config_.backend, config_.convAlgo,
+                      config_.threads)
+                      .total();
+        if (perReplica > config_.nodeMemBudget)
+            throw RejectedError(
+                RejectReason::BadConfig,
+                std::string("[") +
+                    analysis::checkName(
+                        analysis::Check::NodeMemExceeded) +
+                    "] one replica needs " +
+                    std::to_string(perReplica) +
+                    " bytes but the node budget is " +
+                    std::to_string(config_.nodeMemBudget) + " bytes");
+        const size_t fit = config_.nodeMemBudget / perReplica;
+        if (fit < activeWorkers_) {
+            analysis::diag(
+                preflightWarnings_, analysis::Severity::Warning,
+                analysis::Check::NodeMemExceeded, "",
+                std::to_string(config_.workers) + " workers x " +
+                    std::to_string(perReplica) +
+                    " peak bytes exceed the node budget " +
+                    std::to_string(config_.nodeMemBudget) +
+                    "; shedding to " + std::to_string(fit) +
+                    " workers");
+            activeWorkers_ = fit;
+        }
+    }
+
+    // One reservoir per worker: workers sample their own completions
+    // without sharing a lock; stats() merges them into one unbiased
+    // sample of the combined stream. Seeds are per-worker so merged
+    // percentiles are reproducible run to run.
+    workerSamples_.reserve(activeWorkers_);
+    for (size_t i = 0; i < activeWorkers_; ++i)
+        workerSamples_.push_back(std::make_unique<WorkerSample>(
+            std::max<size_t>(config_.latencyReservoir, 1),
+            0x5eedULL + i));
 
     // Numerical pre-flight: compare the plan's recorded static error
     // bound against this deployment's budget. A worst-case bound over
@@ -273,8 +316,8 @@ InferenceEngine::resume()
     if (started_ || shutdown_)
         return;
     started_ = true;
-    pool_.reserve(config_.workers);
-    for (size_t i = 0; i < config_.workers; ++i)
+    pool_.reserve(activeWorkers_);
+    for (size_t i = 0; i < activeWorkers_; ++i)
         pool_.emplace_back([this, i] { workerLoop(i); });
 }
 
@@ -291,8 +334,8 @@ InferenceEngine::shutdown()
         // admitted: bring the pool up so the queue drains.
         if (!started_) {
             started_ = true;
-            pool_.reserve(config_.workers);
-            for (size_t i = 0; i < config_.workers; ++i)
+            pool_.reserve(activeWorkers_);
+            for (size_t i = 0; i < activeWorkers_; ++i)
                 pool_.emplace_back([this, i] { workerLoop(i); });
         }
     }

@@ -137,6 +137,20 @@ struct ServeConfig
     double errorBudget = 0.0;
 
     /**
+     * Peak-RAM budget of the node this engine deploys onto, in bytes
+     * (0 = unlimited). Pre-flight sizes the worker pool against it:
+     * each worker is one replica of the model's peak footprint — the
+     * plan's recorded peak_bytes_bound when a plan is set, otherwise
+     * the static estimate of the configured global backend/algorithm
+     * (both batch-1 bounds; a conservative per-replica figure since
+     * weights are actually shared). Workers that do not fit are shed
+     * with a `node-mem-exceeded` warning in preflightWarnings(); if
+     * even one replica does not fit, the deployment is refused with
+     * RejectedError(BadConfig) carrying the same stable code.
+     */
+    size_t nodeMemBudget = 0;
+
+    /**
      * Start with the worker pool idle; requests queue (and overflow
      * rejects) until resume(). Used by tests to force deterministic
      * backpressure and shutdown-with-queued-work scenarios.
@@ -250,6 +264,12 @@ class InferenceEngine
     const ServeConfig &config() const { return config_; }
 
     /**
+     * Workers the pool actually runs: config().workers unless the
+     * nodeMemBudget pre-flight shed replicas that did not fit.
+     */
+    size_t activeWorkers() const { return activeWorkers_; }
+
+    /**
      * Non-fatal pre-flight findings (Warning/Info severity) — today
      * the ErrorBudgetExceeded comparison of the plan's recorded
      * static error bound against config().errorBudget. Error-severity
@@ -292,6 +312,8 @@ class InferenceEngine
 
     InferenceStack &stack_;
     const ServeConfig config_;
+    /** Pool size after the nodeMemBudget right-sizing pre-flight. */
+    size_t activeWorkers_ = 0;
     /**
      * Validated copy of the deployment plan the pool executes (null =
      * global config). Workers each build their own tune::PlanRuntime

@@ -40,12 +40,16 @@ writeAll(int fd, const std::string &data)
 {
     size_t sent = 0;
     while (sent < data.size()) {
-        const ssize_t n =
-            ::send(fd, data.data() + sent, data.size() - sent, 0);
+        // MSG_NOSIGNAL: a scraper that disconnects mid-response turns
+        // the send into an EPIPE return instead of a process-killing
+        // SIGPIPE (the server installs no signal handlers, and must
+        // not — it shares the process with the serving engine).
+        const ssize_t n = ::send(fd, data.data() + sent,
+                                 data.size() - sent, MSG_NOSIGNAL);
         if (n < 0 && errno == EINTR)
             continue; // signal mid-scrape must not truncate /metrics
         if (n <= 0)
-            return;
+            return; // peer gone (EPIPE/ECONNRESET) or socket error
         sent += static_cast<size_t>(n);
     }
 }

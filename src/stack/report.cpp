@@ -231,9 +231,19 @@ collectRunReport(InferenceStack &stack, ExecContext &ctx,
         delta(tracker.peakBytes(MemClass::Activations), preActivations);
     rep.memory.observedScratch =
         delta(tracker.peakBytes(MemClass::Scratch), preScratch);
-    const analysis::MemoryEstimate est = analysis::estimateForwardMemory(
-        stack.model().net, stack.inputShape(batch), ctx.backend,
-        ctx.convAlgo, ctx.threads);
+    // Price the static side of the comparison under the exact
+    // configuration the forwards above ran: a context carrying
+    // per-layer overrides executed a *mixed* assignment, and the
+    // single-configuration estimator is wrong for it.
+    const analysis::MemoryEstimate est =
+        ctx.layerOverrides
+            ? analysis::memoryEstimateForPlan(
+                  stack.model().net, stack.inputShape(batch),
+                  *ctx.layerOverrides, ctx.backend, ctx.convAlgo,
+                  ctx.threads)
+            : analysis::estimateForwardMemory(
+                  stack.model().net, stack.inputShape(batch),
+                  ctx.backend, ctx.convAlgo, ctx.threads);
     rep.memory.staticWeights = est.weights;
     rep.memory.staticSparseMeta = est.sparseMeta;
     rep.memory.staticActivations = est.activationsPeak;

@@ -8,9 +8,11 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 
+#include "analysis/memory_estimate.hpp"
 #include "analysis/verifier.hpp"
 #include "backend/simd/isa.hpp"
 
@@ -400,6 +402,23 @@ optNumField(const JValue &obj, const char *key, double fallback)
     return v->number;
 }
 
+/** Optional byte-count field (added in v3): absent means 0. */
+size_t
+optByteField(const JValue &obj, const char *key)
+{
+    const double d = optNumField(obj, key, 0.0);
+    if (d < 0 || d != std::floor(d))
+        parseFail(std::string("field '") + key +
+                  "' is not a non-negative integer");
+    // Saturate instead of casting out of range: SIZE_MAX (an
+    // "unlimited" budget) rounds up to 2^64 as a double, and casting
+    // that back would be undefined. Anything at or beyond 2^64 can
+    // only have been written from SIZE_MAX.
+    if (d >= 18446744073709551616.0)
+        return std::numeric_limits<size_t>::max();
+    return static_cast<size_t>(d);
+}
+
 int
 intField(const JValue &obj, const char *key)
 {
@@ -506,6 +525,9 @@ planToJson(const DeploymentPlan &plan)
         << ",\n";
     oss << "  \"total_error_bound\": "
         << renderDouble(plan.totalErrorBound) << ",\n";
+    oss << "  \"mem_budget\": " << plan.memBudget << ",\n";
+    oss << "  \"peak_bytes_bound\": " << plan.peakBytesBound
+        << ",\n";
     if (plan.layers.empty()) {
         oss << "  \"layers\": []\n";
     } else {
@@ -544,6 +566,8 @@ planFromJson(const std::string &json)
     plan.errorBudget = optNumField(root, "error_budget", 0.0);
     plan.totalErrorBound =
         optNumField(root, "total_error_bound", 0.0);
+    plan.memBudget = optByteField(root, "mem_budget");
+    plan.peakBytesBound = optByteField(root, "peak_bytes_bound");
 
     const JValue &layers = field(root, "layers", JValue::Kind::Array);
     plan.layers.reserve(layers.items.size());
@@ -664,6 +688,43 @@ validatePlan(const DeploymentPlan &plan, const Network &net,
         for (analysis::Diagnostic &d : analysis::checkLayerExecution(
                  *it->second, lp.backend, lp.algo))
             out.push_back(std::move(d));
+    }
+
+    if (plan.memBudget > 0 && plan.peakBytesBound > plan.memBudget)
+        analysis::diag(out, Severity::Error, Check::BadConfig, "",
+                       "recorded peak_bytes_bound " +
+                           std::to_string(plan.peakBytesBound) +
+                           " exceeds the plan's own mem_budget " +
+                           std::to_string(plan.memBudget));
+
+    // The serving pre-flight sizes replicas from peak_bytes_bound, so
+    // a recorded bound must match what this build's estimator prices
+    // the plan's assignment at. Only checked once everything else is
+    // clean (same network, same schema) — on a foreign plan the
+    // recompute would just echo the mismatch diagnostics above.
+    if (plan.peakBytesBound != 0 && out.empty()) {
+        std::unordered_map<std::string, LayerExecOverride> ov;
+        for (const LayerPlan &lp : plan.layers) {
+            LayerExecOverride o;
+            o.backend = lp.backend;
+            o.convAlgo = lp.algo;
+            o.threads = lp.threads;
+            ov.emplace(lp.layer, o);
+        }
+        const size_t bound =
+            analysis::memoryEstimateForPlan(net, input, ov,
+                                            plan.defaultBackend,
+                                            ConvAlgo::Direct,
+                                            plan.defaultThreads)
+                .total();
+        if (bound != plan.peakBytesBound)
+            analysis::diag(out, Severity::Error, Check::BadConfig, "",
+                           "recorded peak_bytes_bound " +
+                               std::to_string(plan.peakBytesBound) +
+                               " does not match this build's static "
+                               "estimate " +
+                               std::to_string(bound) +
+                               "; re-run --tune");
     }
     return out;
 }

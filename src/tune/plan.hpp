@@ -40,11 +40,12 @@ namespace dlis::tune {
 
 /**
  * Schema version written to (and required of) every plan file.
+ * v3 added the memory-planning fields (mem_budget, peak_bytes_bound);
  * v2 added the static numerical-error fields (error_budget,
- * total_error_bound, per-layer error_bound); v1 plans parse but fail
- * validatePlan with PlanVersion — re-run --tune.
+ * total_error_bound, per-layer error_bound). Older plans parse but
+ * fail validatePlan with PlanVersion — re-run --tune.
  */
-constexpr int kPlanVersion = 2;
+constexpr int kPlanVersion = 3;
 
 /** @name Plan-file tokens (the CLI spellings, not display names). */
 /** @{ */
@@ -104,6 +105,20 @@ struct DeploymentPlan
      * configured budget.
      */
     double totalErrorBound = 0.0;
+
+    /** Peak-memory budget the planner enforced (--mem-budget bytes;
+     *  0 = unconstrained). */
+    size_t memBudget = 0;
+
+    /**
+     * Static peak total footprint (weights + sparse metadata +
+     * activation high-water + scratch high-water, batch 1) of the
+     * chosen per-layer assignment, from
+     * analysis::memoryEstimateForPlan — an upper bound on the
+     * MemoryTracker-observed peak of executing this plan. The serving
+     * pre-flight sizes replicas from it; 0 only in hand-made plans.
+     */
+    size_t peakBytesBound = 0;
 
     std::vector<LayerPlan> layers;
 };

@@ -7,7 +7,9 @@
 #include <numeric>
 
 #include "analysis/error_bounds.hpp"
+#include "analysis/memory_estimate.hpp"
 #include "analysis/verifier.hpp"
+#include "tune/mem_planner.hpp"
 #include "core/error.hpp"
 #include "hw/cost_model.hpp"
 #include "nn/conv2d.hpp"
@@ -397,6 +399,53 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
         if (order.size() > options.topK)
             order.resize(options.topK);
 
+        // The unconstrained winner is picked from the cost-model
+        // survivors only — a memory budget must not change which
+        // point wins when the budget is not binding.
+        std::vector<char> inTopK(search.candidates.size(), 0);
+        for (size_t idx : order)
+            inTopK[idx] = 1;
+
+        // Under a memory budget, also measure every legal candidate
+        // that is Pareto-minimal in (activation, scratch) bytes: the
+        // planner may have to retreat to a point the cost model
+        // pruned, and the minimum feasible peak must be realisable
+        // from measured points.
+        if (options.memBudget > 0) {
+            std::vector<std::pair<size_t, size_t>> mem(
+                search.candidates.size());
+            for (size_t i = 0; i < search.candidates.size(); ++i) {
+                const CandidatePoint &cp = search.candidates[i];
+                const analysis::LayerMemory lm =
+                    analysis::layerForwardMemory(*tl.layer, tl.input,
+                                                 cp.backend, cp.algo,
+                                                 cp.threads);
+                mem[i] = {lm.inputBytes + lm.transientBytes,
+                          lm.scratchBytes};
+            }
+            for (size_t i = 0; i < search.candidates.size(); ++i) {
+                if (search.candidates[i].budgetExcluded || inTopK[i])
+                    continue;
+                bool dominated = false;
+                for (size_t j = 0; j < search.candidates.size();
+                     ++j) {
+                    if (j == i ||
+                        search.candidates[j].budgetExcluded)
+                        continue;
+                    if (mem[j].first <= mem[i].first &&
+                        mem[j].second <= mem[i].second &&
+                        (mem[j].first < mem[i].first ||
+                         mem[j].second < mem[i].second ||
+                         (inTopK[j] && j < i))) {
+                        dominated = true;
+                        break;
+                    }
+                }
+                if (!dominated)
+                    order.push_back(i);
+            }
+        }
+
         // Stage 3: measure the survivors on the real geometry with a
         // per-layer deterministic input.
         Rng rng(options.seed, li + 1);
@@ -414,10 +463,12 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
         }
 
         const CandidatePoint *best = nullptr;
-        for (const CandidatePoint &cp : search.candidates)
-            if (cp.measured &&
+        for (size_t i = 0; i < search.candidates.size(); ++i) {
+            const CandidatePoint &cp = search.candidates[i];
+            if (cp.measured && inTopK[i] &&
                 (!best || cp.measuredSeconds < best->measuredSeconds))
                 best = &cp;
+        }
         DLIS_CHECK(best, "tuner: layer '", search.layer,
                    "' has no measurable candidate");
 
@@ -437,6 +488,38 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
         searches.push_back(std::move(search));
     }
 
+    // Memory budget: re-select the per-layer points so the static
+    // peak fits. A layer keeps its unconstrained winner whenever the
+    // winner fits the winning thresholds, so an unbinding budget
+    // leaves the plan untouched.
+    plan.memBudget = options.memBudget;
+    if (options.memBudget > 0) {
+        const MemPlanOutcome mem = planUnderMemBudget(
+            net, input, searches, options.memBudget);
+        if (!mem.feasible)
+            throw PlanError(
+                analysis::Check::PlanMemInfeasible,
+                "no per-layer assignment fits mem budget " +
+                    std::to_string(options.memBudget) +
+                    " bytes; minimum feasible peak is " +
+                    std::to_string(mem.minFeasiblePeak) + " bytes");
+        for (size_t li = 0; li < searches.size(); ++li) {
+            const CandidatePoint &cp =
+                searches[li].candidates[mem.chosen[li]];
+            LayerPlan &lp = plan.layers[li];
+            lp.backend = cp.backend;
+            lp.algo = cp.algo;
+            lp.threads = cp.threads;
+            lp.measuredSeconds = cp.measuredSeconds;
+            lp.predictedSeconds =
+                std::isfinite(cp.predictedSeconds)
+                    ? cp.predictedSeconds
+                    : 0.0;
+            lp.errorBound = cp.errorBound;
+            searches[li].winner = lp;
+        }
+    }
+
     // Base config for the non-tuned layers: join the parallel loop
     // iff some winner did, at the widest width a winner chose.
     plan.defaultBackend = Backend::Serial;
@@ -447,6 +530,29 @@ tunePlan(InferenceStack &stack, const TuneOptions &options,
             plan.defaultBackend = Backend::OpenMP;
             plan.defaultThreads = lp.threads;
         }
+
+    // Static peak footprint of the chosen assignment — recorded in
+    // every plan (the serving pre-flight sizes replicas from it) and
+    // required under the recorded budget when one was set.
+    {
+        std::unordered_map<std::string, LayerExecOverride> ov;
+        for (const LayerPlan &lp : plan.layers) {
+            LayerExecOverride o;
+            o.backend = lp.backend;
+            o.convAlgo = lp.algo;
+            o.threads = lp.threads;
+            ov.emplace(lp.layer, o);
+        }
+        plan.peakBytesBound =
+            analysis::memoryEstimateForPlan(net, input, ov,
+                                            plan.defaultBackend,
+                                            ConvAlgo::Direct,
+                                            plan.defaultThreads)
+                .total();
+        DLIS_CHECK(options.memBudget == 0 ||
+                       plan.peakBytesBound <= options.memBudget,
+                   "tuner: planner exceeded the mem budget");
+    }
 
     // Composed static bound of the chosen configuration: tuned units
     // at their winner's effective algorithm, every other unit (BN,
@@ -544,9 +650,11 @@ tuneOrLoadPlan(InferenceStack &stack, const TuneOptions &options,
                 diags.begin(), diags.end(), [](const auto &d) {
                     return d.severity == analysis::Severity::Error;
                 });
-            // A plan tuned under a different error budget answered a
-            // different question: retune rather than hand it back.
-            if (clean && cached.errorBudget == options.errorBudget)
+            // A plan tuned under a different error or memory budget
+            // answered a different question: retune rather than hand
+            // it back.
+            if (clean && cached.errorBudget == options.errorBudget &&
+                cached.memBudget == options.memBudget)
                 return {std::move(cached), true, path};
         } catch (const PlanError &) {
             // unreadable cache entry: fall through and retune

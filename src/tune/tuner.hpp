@@ -83,6 +83,18 @@ struct TuneOptions
      * pre-flight surfaces).
      */
     double errorBudget = 0.0;
+
+    /**
+     * Hard peak-RAM budget in bytes (0 = unconstrained). When set,
+     * the memory planner (tune/mem_planner.hpp) re-selects each
+     * layer's point after measurement so the plan's static peak
+     * footprint fits the budget, and every memory-Pareto-minimal
+     * candidate is measured in addition to the cost-model survivors
+     * so the minimum feasible peak is always realisable. An
+     * infeasible budget throws PlanError with the stable
+     * `plan-mem-infeasible` code, naming the minimum feasible peak.
+     */
+    size_t memBudget = 0;
 };
 
 /** One enumerated point of a layer's search space. */

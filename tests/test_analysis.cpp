@@ -9,10 +9,12 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <unordered_map>
 
 #include <gtest/gtest.h>
 
 #include "analysis/analyzer.hpp"
+#include "analysis/memory_estimate.hpp"
 #include "analysis/verifier.hpp"
 #include "nn/activations.hpp"
 #include "nn/models/model.hpp"
@@ -360,6 +362,87 @@ TEST(MemoryEstimate, MatchesObservedPeakExactly)
             << model;
         EXPECT_EQ(fp.scratch, rep.memory.staticScratch) << model;
     }
+}
+
+// Regression for the mixed-plan blind spot: collectRunReport used to
+// price the static estimate from the context's *uniform* backend /
+// algo / threads even when ExecContext::layerOverrides steered
+// individual layers elsewhere, so a tuned plan mixing im2col and
+// direct conv compared the tracker against the wrong model.  The
+// per-plan estimator must stay byte-exact for mixed assignments.
+TEST(MemoryEstimate, MatchesObservedPeakForMixedPlanOverrides)
+{
+    for (const char *model : {"vgg16", "resnet18", "mobilenet"}) {
+        StackConfig config;
+        config.modelName = model;
+        config.widthMult = 0.25;
+        InferenceStack stack(config);
+
+        // Alternate conv algorithms layer by layer — the shape of a
+        // real tuned plan (im2col where it pays, direct elsewhere).
+        // Non-conv layers ignore convAlgo in both the runtime and the
+        // model, so blanket assignment is harmless.
+        std::unordered_map<std::string, LayerExecOverride> overrides;
+        const ConvAlgo algos[] = {ConvAlgo::Im2colGemm,
+                                  ConvAlgo::Direct,
+                                  ConvAlgo::Winograd};
+        Shape cur = stack.inputShape(1);
+        size_t convSeen = 0;
+        for (const auto &layer : stack.model().net.layers()) {
+            // Rotate algorithms across the layers that actually have
+            // an algorithm choice (im2col demands scratch there);
+            // everything else runs direct.
+            const bool tunable =
+                analysis::layerForwardMemory(*layer, cur,
+                                             Backend::Serial,
+                                             ConvAlgo::Im2colGemm, 1)
+                    .scratchBytes > 0;
+            LayerExecOverride ov;
+            ov.backend = Backend::Serial;
+            ov.convAlgo =
+                tunable ? algos[convSeen++ % 3] : ConvAlgo::Direct;
+            ov.threads = 1;
+            overrides[layer->name()] = ov;
+            cur = layer->outputShape(cur);
+        }
+
+        ExecContext ctx;
+        ctx.layerOverrides = &overrides;
+        const RunReport rep = collectRunReport(stack, ctx, 2);
+        ASSERT_TRUE(rep.memory.collected);
+        EXPECT_EQ(rep.memory.staticActivations,
+                  rep.memory.observedActivations)
+            << model << ": per-plan activation model has drifted from "
+                        "the runtime's allocation sequence";
+        EXPECT_EQ(rep.memory.staticScratch, rep.memory.observedScratch)
+            << model;
+        // A mixed plan must actually exercise the im2col scratch leg,
+        // or the equality above proves nothing.
+        EXPECT_GT(rep.memory.staticScratch, 0u) << model;
+    }
+}
+
+// With no overrides the per-plan estimator must collapse to the
+// uniform estimate — same model, same bytes.
+TEST(MemoryEstimate, PlanEstimatorMatchesUniformWhenEmpty)
+{
+    StackConfig config;
+    config.modelName = "resnet18";
+    config.widthMult = 0.25;
+    InferenceStack stack(config);
+    const Shape input = stack.inputShape(1);
+    const Network &net = stack.model().net;
+
+    const analysis::MemoryEstimate uniform =
+        analysis::estimateForwardMemory(net, input, Backend::Serial,
+                                        ConvAlgo::Im2colGemm, 1);
+    const analysis::MemoryEstimate viaPlan =
+        analysis::memoryEstimateForPlan(net, input, {}, Backend::Serial,
+                                        ConvAlgo::Im2colGemm, 1);
+    EXPECT_EQ(uniform.weights, viaPlan.weights);
+    EXPECT_EQ(uniform.sparseMeta, viaPlan.sparseMeta);
+    EXPECT_EQ(uniform.activationsPeak, viaPlan.activationsPeak);
+    EXPECT_EQ(uniform.scratchPeak, viaPlan.scratchPeak);
 }
 
 TEST(MemoryEstimate, MatchesObservedPeakForCsrDeployment)

@@ -214,6 +214,62 @@ TEST(Serve, PopUntilPastDeadlineStillDrainsQueuedItems)
     EXPECT_FALSE(queue.popUntil(past).has_value());
 }
 
+TEST(Serve, ApproxSizeMirrorNeverDriftsUnderConcurrency)
+{
+    // approxSize() mirrors items_.size() through a relaxed atomic so
+    // the telemetry gauge never contends with admission. The mirror
+    // is only ever STORED under the queue mutex, so it may lag a
+    // concurrent operation transiently but can never drift: at every
+    // quiescent point it must equal the true size exactly. This runs
+    // under TSan in CI, so an ordering hole would also be a data-race
+    // report, not just a failed equality.
+    serve::BoundedQueue<int> queue(64);
+    constexpr int kRounds = 50;
+    constexpr int kProducers = 4;
+    constexpr int kConsumers = 4;
+    constexpr int kPerThread = 200;
+
+    for (int round = 0; round < kRounds / 10; ++round) {
+        std::vector<std::thread> threads;
+        threads.reserve(kProducers + kConsumers + 1);
+        for (int p = 0; p < kProducers; ++p)
+            threads.emplace_back([&queue] {
+                for (int i = 0; i < kPerThread; ++i)
+                    (void)queue.tryPush(int(i));
+            });
+        for (int c = 0; c < kConsumers; ++c)
+            threads.emplace_back([&queue, c] {
+                for (int i = 0; i < kPerThread; ++i) {
+                    if (c % 2 == 0) {
+                        (void)queue.tryPop();
+                    } else {
+                        (void)queue.popUntil(
+                            std::chrono::steady_clock::now());
+                    }
+                }
+            });
+        // A reader hammering the mirror mid-flight: values must stay
+        // inside [0, capacity] even while producers and consumers
+        // race.
+        threads.emplace_back([&queue] {
+            for (int i = 0; i < kPerThread; ++i)
+                EXPECT_LE(queue.approxSize(), 64u);
+        });
+        for (std::thread &t : threads)
+            t.join();
+
+        // Quiescent: the mirror has no excuse to differ.
+        EXPECT_EQ(queue.size(), queue.approxSize())
+            << "round " << round;
+    }
+
+    // Drain and re-check at zero.
+    while (queue.tryPop().has_value()) {
+    }
+    EXPECT_EQ(0u, queue.size());
+    EXPECT_EQ(0u, queue.approxSize());
+}
+
 TEST(Serve, ZeroLingerStillFormsFullBatchesFromQueue)
 {
     InferenceStack stack = makeStack();

@@ -426,6 +426,61 @@ TEST(Telemetry, HttpExporterServesMetricsStatuszHealthz)
     server.stop();
 }
 
+TEST(Telemetry, ScraperDisconnectMidResponseDoesNotKillServer)
+{
+    // Regression: writeAll() used to call send() without MSG_NOSIGNAL,
+    // so a scraper that disconnected mid-/metrics turned the next
+    // send() into SIGPIPE — whose default action kills the WHOLE
+    // serving process, engine included. A rude disconnect must be an
+    // EPIPE return the server shrugs off.
+    obs::MetricsRegistry registry;
+    // /metrics must far exceed the kernel's socket buffers (~4 MB
+    // with autotuning) or the whole response fits in the send buffer
+    // and the write loop never observes the disconnect. ~18 MB of
+    // verbose help text guarantees the server blocks mid-write.
+    const std::string essay(6 * 1024, 'h');
+    for (int i = 0; i < 3000; ++i)
+        registry
+            .counter("dlis_flood_" + std::to_string(i) + "_total",
+                     essay)
+            .add(i);
+    serve::TelemetryServer server(registry);
+    ASSERT_NE(server.port(), 0);
+
+    for (int round = 0; round < 3; ++round) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(server.port());
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        // A tiny receive window keeps most of the response queued on
+        // the server side, so the write loop is guaranteed to still
+        // be running when the disconnect lands.
+        const int tiny = 1;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof(tiny));
+        const std::string request =
+            "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+        ASSERT_EQ(static_cast<ssize_t>(request.size()),
+                  ::send(fd, request.data(), request.size(), 0));
+        // Close without reading a byte: the server's queued response
+        // then draws an RST, and every send() after that is a write
+        // on a broken pipe — SIGPIPE without MSG_NOSIGNAL.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        ::close(fd);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // The accept loop is single-threaded: a clean response here
+    // proves the server survived every rude disconnect above.
+    EXPECT_NE(httpGet(server.port(), "/healthz").find("ok"),
+              std::string::npos);
+    server.stop();
+}
+
 TEST(Telemetry, HttpRequestSplitAcrossPacketsStillParses)
 {
     // TCP gives no message boundaries: a scraper's GET can arrive in

@@ -30,11 +30,13 @@
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/diagnostic.hpp"
+#include "analysis/memory_estimate.hpp"
 #include "backend/gemmlib/tuned_gemm.hpp"
 #include "backend/oclsim/ndrange.hpp"
 #include "core/rng.hpp"
@@ -45,6 +47,7 @@
 #include "stack/inference_stack.hpp"
 #include "test_helpers.hpp"
 #include "tune/measure.hpp"
+#include "tune/mem_planner.hpp"
 #include "tune/plan.hpp"
 #include "tune/tuner.hpp"
 
@@ -552,7 +555,7 @@ TEST(PlanEquivalence, RandomisedConvChainGeometries)
 // ---------------------------------------------------------------- //
 
 const char *const kGoldenPlan = R"({
-  "plan_version": 2,
+  "plan_version": 3,
   "model": "vgg16",
   "network_signature": "00000000deadbeef",
   "host_fingerprint": "golden-host/cpu8/avx2",
@@ -564,6 +567,8 @@ const char *const kGoldenPlan = R"({
   "best_global_config": "openmp/im2col/t4",
   "error_budget": 0.001953125,
   "total_error_bound": 0.0009765625,
+  "mem_budget": 4194304,
+  "peak_bytes_bound": 3145728,
   "layers": [
     {"layer": "conv1", "backend": "openmp", "algo": "im2col", "threads": 4, "measured_s": 0.001953125, "predicted_s": 0.00390625, "error_bound": 0.00048828125},
     {"layer": "conv2", "backend": "serial", "algo": "winograd", "threads": 1, "measured_s": 0.0078125, "predicted_s": 0.015625, "error_bound": 0.000244140625},
@@ -587,6 +592,8 @@ goldenPlan()
     plan.bestGlobalConfig = "openmp/im2col/t4";
     plan.errorBudget = 0.001953125;
     plan.totalErrorBound = 0.0009765625;
+    plan.memBudget = 4194304;
+    plan.peakBytesBound = 3145728;
     plan.layers = {
         {"conv1", Backend::OpenMP, ConvAlgo::Im2colGemm, 4,
          0.001953125, 0.00390625, 0.00048828125},
@@ -622,13 +629,15 @@ TEST(PlanFile, ParseRenderRoundTripIsIdentity)
 TEST(PlanFile, ParsedFieldsSurviveTheTrip)
 {
     const tune::DeploymentPlan p = tune::planFromJson(kGoldenPlan);
-    EXPECT_EQ(2, p.version);
+    EXPECT_EQ(3, p.version);
     EXPECT_EQ("vgg16", p.model);
     EXPECT_EQ(7u, p.seed);
     EXPECT_EQ(Backend::OpenMP, p.defaultBackend);
     EXPECT_EQ(4, p.defaultThreads);
     EXPECT_DOUBLE_EQ(0.001953125, p.errorBudget);
     EXPECT_DOUBLE_EQ(0.0009765625, p.totalErrorBound);
+    EXPECT_EQ(4194304u, p.memBudget);
+    EXPECT_EQ(3145728u, p.peakBytesBound);
     ASSERT_EQ(3u, p.layers.size());
     EXPECT_EQ(Backend::OclGemmLib, p.layers[2].backend);
     EXPECT_EQ(ConvAlgo::Winograd, p.layers[1].algo);
@@ -767,9 +776,11 @@ TEST(PlanReject, V1PlanFailsWithPlanVersionNotParse)
         ASSERT_NE(std::string::npos, at) << from;
         v1.replace(at, from.size(), to);
     };
-    rewrite("\"plan_version\": 2", "\"plan_version\": 1");
+    rewrite("\"plan_version\": 3", "\"plan_version\": 1");
     rewrite("  \"error_budget\": 0,\n", "");
     rewrite("  \"total_error_bound\": 0,\n", "");
+    rewrite("  \"mem_budget\": 0,\n", "");
+    rewrite("  \"peak_bytes_bound\": 0,\n", "");
     rewrite(", \"error_bound\": 0}", "}");
 
     tune::DeploymentPlan parsed;
@@ -782,6 +793,75 @@ TEST(PlanReject, V1PlanFailsWithPlanVersionNotParse)
         tune::validatePlan(parsed, stack.model().net,
                            stack.inputShape(1));
     EXPECT_TRUE(hasError(diags, analysis::Check::PlanVersion));
+}
+
+TEST(PlanReject, V2PlanFailsWithPlanVersionNotParse)
+{
+    // A genuine v2 document — version 2, no mem fields — must parse
+    // (the mem fields are optional, defaulting to 0) and then be
+    // refused by validatePlan with the stable PlanVersion code: its
+    // plans carry no peak bound, so the serving pre-flight could not
+    // size replicas from them.
+    InferenceStack stack = makeStack("mobilenet");
+    tune::DeploymentPlan current = emptyValidPlan(stack);
+    current.layers.push_back(
+        {"stem", Backend::Serial, ConvAlgo::Direct, 1, 0.0, 0.0});
+
+    std::string v2 = tune::planToJson(current);
+    const auto rewrite = [&v2](const std::string &from,
+                               const std::string &to) {
+        const size_t at = v2.find(from);
+        ASSERT_NE(std::string::npos, at) << from;
+        v2.replace(at, from.size(), to);
+    };
+    rewrite("\"plan_version\": 3", "\"plan_version\": 2");
+    rewrite("  \"mem_budget\": 0,\n", "");
+    rewrite("  \"peak_bytes_bound\": 0,\n", "");
+
+    tune::DeploymentPlan parsed;
+    ASSERT_NO_THROW(parsed = tune::planFromJson(v2))
+        << "v2 plan must parse, not throw PlanParse";
+    EXPECT_EQ(2, parsed.version);
+    EXPECT_EQ(0u, parsed.memBudget);
+    EXPECT_EQ(0u, parsed.peakBytesBound);
+
+    const std::vector<analysis::Diagnostic> diags =
+        tune::validatePlan(parsed, stack.model().net,
+                           stack.inputShape(1));
+    EXPECT_TRUE(hasError(diags, analysis::Check::PlanVersion));
+}
+
+TEST(PlanReject, RecordedPeakBoundMustMatchThisBuild)
+{
+    // peak_bytes_bound is what the serving pre-flight sizes replicas
+    // from; a bound that this build's static model cannot reproduce
+    // (tampered file, drifted estimator) must be an error, not
+    // silently trusted.
+    InferenceStack stack = makeStack("mobilenet");
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.peakBytesBound =
+        analysis::memoryEstimateForPlan(net, input, {},
+                                        plan.defaultBackend,
+                                        ConvAlgo::Direct,
+                                        plan.defaultThreads)
+            .total();
+    EXPECT_FALSE(anyError(tune::validatePlan(plan, net, input)))
+        << "honest bound must validate";
+
+    plan.peakBytesBound -= 1;
+    EXPECT_TRUE(anyError(tune::validatePlan(plan, net, input)))
+        << "tampered bound must be rejected";
+
+    // A plan claiming its bound exceeds its own recorded budget is
+    // internally inconsistent — the tuner can never emit that.
+    tune::DeploymentPlan inconsistent = emptyValidPlan(stack);
+    inconsistent.memBudget = 1;
+    inconsistent.peakBytesBound = 2;
+    EXPECT_TRUE(
+        anyError(tune::validatePlan(inconsistent, net, input)));
 }
 
 TEST(PlanReject, IllegalPointOnSparseWeightsIsAnError)
@@ -852,6 +932,159 @@ TEST(PlanCache, FileNameSeparatesHostsAndNetworks)
     EXPECT_NE(a, c);
     EXPECT_EQ(a, tune::planCacheFile("d", "m", "hostA/cpu4/avx2",
                                      "sig1"));
+}
+
+// ---------------------------------------------------------------- //
+// Memory-budgeted planning                                         //
+// ---------------------------------------------------------------- //
+
+TEST(MemPlanner, TightBudgetRetreatsFromScratchHungryWinner)
+{
+    // Hand-built search table over a real two-conv network: im2col
+    // wins on latency but needs scratch; direct is slow but free.
+    // The planner must keep the winners when the budget allows and
+    // retreat to direct when it does not.
+    Rng rng(5);
+    Network net("memnet");
+    auto *c0 = net.emplace<Conv2d>("c0", 2, 4, 3, 1, 1);
+    c0->initKaiming(rng);
+    auto *c1 = net.emplace<Conv2d>("c1", 4, 4, 3, 1, 1);
+    c1->initKaiming(rng);
+    const Shape input({1, 2, 16, 16});
+
+    const auto candidate = [](ConvAlgo algo, double seconds) {
+        tune::CandidatePoint cp;
+        cp.algo = algo;
+        cp.measuredSeconds = seconds;
+        cp.measured = true;
+        return cp;
+    };
+    std::vector<tune::LayerSearch> searches(2);
+    for (size_t i = 0; i < 2; ++i) {
+        tune::LayerSearch &s = searches[i];
+        s.layer = i == 0 ? "c0" : "c1";
+        s.candidates = {candidate(ConvAlgo::Im2colGemm, 1e-3),
+                        candidate(ConvAlgo::Direct, 5e-3)};
+        s.winner.layer = s.layer;
+        s.winner.backend = s.candidates[0].backend;
+        s.winner.algo = s.candidates[0].algo;
+        s.winner.threads = s.candidates[0].threads;
+    }
+
+    // Unbounded: both winners stand.
+    const tune::MemPlanOutcome roomy = tune::planUnderMemBudget(
+        net, input, searches, std::numeric_limits<size_t>::max());
+    ASSERT_TRUE(roomy.feasible);
+    EXPECT_EQ(0u, roomy.chosen[0]);
+    EXPECT_EQ(0u, roomy.chosen[1]);
+    ASSERT_GT(roomy.minFeasiblePeak, 0u);
+    EXPECT_LT(roomy.minFeasiblePeak, roomy.peakBytesBound)
+        << "im2col scratch must make the winners cost real memory";
+
+    // At the floor: only the scratch-free points fit.
+    const tune::MemPlanOutcome tight = tune::planUnderMemBudget(
+        net, input, searches, roomy.minFeasiblePeak);
+    ASSERT_TRUE(tight.feasible);
+    EXPECT_EQ(1u, tight.chosen[0]);
+    EXPECT_EQ(1u, tight.chosen[1]);
+    EXPECT_LE(tight.peakBytesBound, roomy.minFeasiblePeak);
+
+    // Just under the unconstrained peak: the plan must change yet
+    // still fit.
+    const tune::MemPlanOutcome mid = tune::planUnderMemBudget(
+        net, input, searches, roomy.peakBytesBound - 1);
+    ASSERT_TRUE(mid.feasible);
+    EXPECT_LE(mid.peakBytesBound, roomy.peakBytesBound - 1);
+
+    // Below the floor: infeasible, and the report still names the
+    // true minimum.
+    const tune::MemPlanOutcome none = tune::planUnderMemBudget(
+        net, input, searches, roomy.minFeasiblePeak - 1);
+    EXPECT_FALSE(none.feasible);
+    EXPECT_EQ(roomy.minFeasiblePeak, none.minFeasiblePeak);
+}
+
+TEST(MemBudget, BoundaryBudgetsAreExact)
+{
+    InferenceStack stack = makeStack("mobilenet");
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+
+    // Probe: a never-binding budget still measures the memory-Pareto
+    // candidates, so the audit knows the true minimum feasible peak.
+    tune::TuneOptions probeOpts = fastOptions();
+    probeOpts.memBudget = std::numeric_limits<size_t>::max();
+    std::vector<tune::LayerSearch> audit;
+    tunePlan(stack, probeOpts, &audit);
+    const tune::MemPlanOutcome probe = tune::planUnderMemBudget(
+        net, input, audit, std::numeric_limits<size_t>::max());
+    const size_t minPeak = probe.minFeasiblePeak;
+    ASSERT_GT(minPeak, 0u);
+
+    // Budget exactly at the minimum: tuning succeeds and the plan
+    // lands exactly on the floor.
+    tune::TuneOptions atMin = fastOptions();
+    atMin.memBudget = minPeak;
+    const tune::DeploymentPlan squeezed = tunePlan(stack, atMin);
+    EXPECT_EQ(minPeak, squeezed.memBudget);
+    EXPECT_EQ(minPeak, squeezed.peakBytesBound);
+
+    // One byte below: the stable diagnostic, naming the minimum so
+    // the operator can fix the budget without bisecting.
+    tune::TuneOptions below = fastOptions();
+    below.memBudget = minPeak - 1;
+    try {
+        tunePlan(stack, below);
+        FAIL() << "expected plan-mem-infeasible";
+    } catch (const tune::PlanError &e) {
+        EXPECT_EQ(analysis::Check::PlanMemInfeasible, e.code());
+        EXPECT_NE(std::string::npos,
+                  std::string(e.what())
+                      .find(std::to_string(minPeak)))
+            << e.what();
+    }
+}
+
+TEST(MemBudget, UnbindingBudgetReproducesUnconstrainedPlanExactly)
+{
+    // A budget the unconstrained winners already fit must not change
+    // the plan at all — same layers, same numbers, bit for bit. Only
+    // the recorded budget itself may differ.
+    InferenceStack stack = makeStack("mobilenet");
+    const tune::DeploymentPlan free = tunePlan(stack, fastOptions());
+
+    tune::TuneOptions roomy = fastOptions();
+    roomy.memBudget = std::numeric_limits<size_t>::max();
+    tune::DeploymentPlan bounded = tunePlan(stack, roomy);
+    EXPECT_EQ(std::numeric_limits<size_t>::max(), bounded.memBudget);
+
+    bounded.memBudget = 0;
+    EXPECT_EQ(tune::planToJson(free), tune::planToJson(bounded));
+}
+
+TEST(MemBudget, CacheMissesWhenMemBudgetChanges)
+{
+    // A cached unconstrained plan must not satisfy a budgeted tune:
+    // the budget is part of what was searched.
+    InferenceStack stack = makeStack("mobilenet");
+    const std::string dir = "test_tune_membudget_cache";
+    std::filesystem::remove_all(dir);
+
+    const tune::TuneOutcome first =
+        tuneOrLoadPlan(stack, fastOptions(), dir);
+    EXPECT_FALSE(first.cacheHit);
+
+    tune::TuneOptions budgeted = fastOptions();
+    budgeted.memBudget = std::numeric_limits<size_t>::max();
+    const tune::TuneOutcome second =
+        tuneOrLoadPlan(stack, budgeted, dir);
+    EXPECT_FALSE(second.cacheHit)
+        << "budgeted tune must not reuse the unconstrained plan";
+
+    const tune::TuneOutcome third =
+        tuneOrLoadPlan(stack, budgeted, dir);
+    EXPECT_TRUE(third.cacheHit);
+    std::filesystem::remove_all(dir);
 }
 
 // ---------------------------------------------------------------- //
@@ -943,6 +1176,108 @@ TEST(ServePlan, PreflightWarnsWhenPlanBoundExceedsBudget)
     serve::InferenceEngine unbounded(stack, config);
     EXPECT_TRUE(unbounded.preflightWarnings().empty());
     unbounded.shutdown();
+}
+
+TEST(ServePlan, NodeMemBudgetRefusesOversizedReplica)
+{
+    // A node budget that cannot hold even one replica is a refusal
+    // with the stable node-mem-exceeded code: the first batch would
+    // take the node down, so the engine must not come up at all.
+    InferenceStack stack = makeStack("mobilenet");
+    serve::ServeConfig config;
+    config.workers = 2;
+    config.nodeMemBudget = 1;
+    try {
+        serve::InferenceEngine engine(stack, config);
+        FAIL() << "engine accepted an impossible node budget";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(serve::RejectReason::BadConfig, e.reason());
+        EXPECT_NE(std::string::npos,
+                  std::string(e.what()).find("node-mem-exceeded"))
+            << e.what();
+    }
+}
+
+TEST(ServePlan, NodeMemBudgetShedsReplicasAndStillServes)
+{
+    // Enough RAM for some-but-not-all replicas: the engine sheds
+    // workers with a warning and keeps serving correctly.
+    InferenceStack stack = makeStack("mobilenet");
+    const size_t perReplica =
+        analysis::estimateForwardMemory(stack.model().net,
+                                        stack.inputShape(1))
+            .total();
+    ASSERT_GT(perReplica, 0u);
+
+    serve::ServeConfig config;
+    config.workers = 3;
+    config.maxBatch = 1;
+    config.nodeMemBudget = 2 * perReplica;
+    serve::InferenceEngine engine(stack, config);
+    EXPECT_EQ(2u, engine.activeWorkers());
+    bool warned = false;
+    for (const analysis::Diagnostic &d : engine.preflightWarnings())
+        warned |= d.check == analysis::Check::NodeMemExceeded &&
+                  d.severity == analysis::Severity::Warning;
+    EXPECT_TRUE(warned);
+
+    const Tensor input = test::randomTensor(stack.inputShape(1), 9);
+    ExecContext serial;
+    const Tensor expected =
+        stack.model().net.forward(input, serial);
+    const Tensor served = engine.submit(input).get();
+    engine.shutdown();
+    EXPECT_TRUE(expected == served);
+
+    // A budget that fits the whole pool sheds nothing and stays
+    // silent.
+    serve::ServeConfig fits;
+    fits.workers = 2;
+    fits.nodeMemBudget = 2 * perReplica;
+    serve::InferenceEngine whole(stack, fits);
+    EXPECT_EQ(2u, whole.activeWorkers());
+    EXPECT_TRUE(whole.preflightWarnings().empty());
+    whole.shutdown();
+}
+
+TEST(ServePlan, NodeMemBudgetSizesReplicasFromPlanBound)
+{
+    // When a plan drives the pool, its recorded peak_bytes_bound —
+    // not the global-config estimate — is what one replica costs.
+    InferenceStack stack = makeStack("mobilenet");
+    Network &net = stack.model().net;
+    const Shape input = stack.inputShape(1);
+
+    tune::DeploymentPlan plan = emptyValidPlan(stack);
+    plan.peakBytesBound =
+        analysis::memoryEstimateForPlan(net, input, {},
+                                        plan.defaultBackend,
+                                        ConvAlgo::Direct,
+                                        plan.defaultThreads)
+            .total();
+    ASSERT_FALSE(anyError(tune::validatePlan(plan, net, input)));
+
+    serve::ServeConfig config;
+    config.workers = 2;
+    config.plan = &plan;
+    config.nodeMemBudget = plan.peakBytesBound;
+    serve::InferenceEngine engine(stack, config);
+    EXPECT_EQ(1u, engine.activeWorkers());
+    engine.shutdown();
+
+    // One byte less than a replica: refusal, and the message carries
+    // the plan's bound so the operator sees which number to fix.
+    config.nodeMemBudget = plan.peakBytesBound - 1;
+    try {
+        serve::InferenceEngine refused(stack, config);
+        FAIL() << "engine accepted a sub-replica node budget";
+    } catch (const serve::RejectedError &e) {
+        EXPECT_EQ(serve::RejectReason::BadConfig, e.reason());
+        EXPECT_NE(std::string::npos,
+                  std::string(e.what())
+                      .find(std::to_string(plan.peakBytesBound)))
+            << e.what();
+    }
 }
 
 TEST(ServePlan, ValidPlanServesIdenticallyToPlanBoundForward)
